@@ -1,0 +1,76 @@
+"""Ablations over the dependence-based design's free parameters.
+
+These are the design choices DESIGN.md calls out: the FIFO geometry
+(count x depth) of the dependence-based machine, and the inter-cluster
+bypass latency of the clustered machine.  Neither is swept in the
+paper; the ablations bound how sensitive its conclusions are to them.
+"""
+
+from conftest import bench_instructions
+
+from repro.core.machines import clustered_dependence_8way, dependence_based_8way
+from repro.uarch.pipeline import simulate
+from repro.workloads import get_trace
+
+ABLATION_WORKLOADS = ("compress", "li", "m88ksim")
+
+
+def geometric_mean(values):
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def fifo_geometry_sweep():
+    """Mean IPC across representative workloads per FIFO geometry."""
+    results = {}
+    instructions = bench_instructions()
+    for count, depth in ((4, 8), (8, 4), (8, 8), (8, 16), (16, 8)):
+        config = dependence_based_8way(fifo_count=count, fifo_depth=depth)
+        ipcs = [
+            simulate(config, get_trace(w, instructions)).ipc
+            for w in ABLATION_WORKLOADS
+        ]
+        results[(count, depth)] = geometric_mean(ipcs)
+    return results
+
+
+def bypass_latency_sweep():
+    """Mean IPC of the clustered machine per inter-cluster latency."""
+    results = {}
+    instructions = bench_instructions()
+    for cycles in (1, 2, 3, 4):
+        config = clustered_dependence_8way(inter_cluster_bypass_cycles=cycles)
+        ipcs = [
+            simulate(config, get_trace(w, instructions)).ipc
+            for w in ABLATION_WORKLOADS
+        ]
+        results[cycles] = geometric_mean(ipcs)
+    return results
+
+
+def test_ablation_fifo_geometry(benchmark, paper_report):
+    results = benchmark.pedantic(fifo_geometry_sweep, rounds=1, iterations=1)
+    body = "\n".join(
+        f"  {count:2d} FIFOs x {depth:2d} deep : mean IPC {ipc:.3f}"
+        for (count, depth), ipc in sorted(results.items())
+    )
+    paper_report("Ablation: dependence-based FIFO geometry", body)
+    # The paper's 8x8 choice should be at (or near) the knee: more
+    # capacity than 8x4 helps little, less (4x8) hurts.
+    assert results[(8, 8)] >= results[(4, 8)] - 0.02
+    assert results[(16, 8)] <= results[(8, 8)] * 1.10
+
+
+def test_ablation_intercluster_latency(benchmark, paper_report):
+    results = benchmark.pedantic(bypass_latency_sweep, rounds=1, iterations=1)
+    body = "\n".join(
+        f"  {cycles} cycle(s): mean IPC {ipc:.3f}"
+        for cycles, ipc in sorted(results.items())
+    )
+    paper_report("Ablation: inter-cluster bypass latency", body)
+    ordered = [results[c] for c in sorted(results)]
+    # IPC must degrade monotonically as inter-cluster bypasses slow.
+    for faster, slower in zip(ordered, ordered[1:]):
+        assert slower <= faster + 1e-9

@@ -1,0 +1,73 @@
+"""Figure 10: wakeup and select form an atomic operation.
+
+Paper: if wakeup+select is pipelined over multiple stages, dependent
+instructions cannot execute in consecutive cycles (the add/sub bubble
+of Figure 10) -- which is why window-logic delay bounds the clock
+instead of being pipelined away.  This bench quantifies the IPC cost
+of splitting the loop into 2 and 3 stages, overall and on a fully
+serial chain where every cycle of bubble is exposed.
+"""
+
+from conftest import bench_instructions
+
+from repro.core.machines import baseline_8way
+from repro.isa import assemble, run_to_trace
+from repro.uarch.pipeline import simulate
+from repro.workloads import WORKLOAD_NAMES, get_trace
+
+STAGES = (1, 2, 3)
+
+
+def serial_chain_trace(length=400):
+    body = "\n".join("addu r1, r1, r2" for _ in range(length))
+    return run_to_trace(assemble(f"li r1, 0\nli r2, 1\n{body}\nhalt\n"))
+
+
+def sweep():
+    instructions = bench_instructions()
+    suite = {}
+    for stages in STAGES:
+        config = baseline_8way(wakeup_select_stages=stages)
+        ipcs = {
+            w: simulate(config, get_trace(w, instructions)).ipc
+            for w in WORKLOAD_NAMES
+        }
+        serial = simulate(config, serial_chain_trace()).ipc
+        suite[stages] = (ipcs, serial)
+    return suite
+
+
+def format_report(suite):
+    lines = [f"{'stages':>7s}" + "".join(f"{w:>10s}" for w in WORKLOAD_NAMES)
+             + f"{'serial':>10s}"]
+    for stages, (ipcs, serial) in suite.items():
+        lines.append(
+            f"{stages:7d}"
+            + "".join(f"{ipcs[w]:10.3f}" for w in WORKLOAD_NAMES)
+            + f"{serial:10.3f}"
+        )
+    base = suite[1][0]
+    mean_loss = {
+        stages: 1 - sum(ipcs[w] / base[w] for w in WORKLOAD_NAMES) / len(WORKLOAD_NAMES)
+        for stages, (ipcs, _serial) in suite.items()
+    }
+    lines.append("")
+    for stages in STAGES[1:]:
+        lines.append(f"  {stages}-stage wakeup/select: mean IPC loss "
+                     f"{100 * mean_loss[stages]:.1f}%")
+    lines.append("  (paper: dependent instructions cannot issue "
+                 "back-to-back, Figure 10)")
+    return "\n".join(lines)
+
+
+def test_fig10_wakeup_select_atomicity(benchmark, paper_report):
+    suite = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    paper_report("Figure 10: cost of pipelining wakeup+select", format_report(suite))
+    # A fully serial chain exposes the bubble exactly: IPC ~ 1/stages.
+    for stages in STAGES:
+        _ipcs, serial = suite[stages]
+        assert abs(serial - 1.0 / stages) < 0.15
+    # Real workloads lose IPC monotonically with deeper window logic.
+    for workload in WORKLOAD_NAMES:
+        series = [suite[s][0][workload] for s in STAGES]
+        assert series[0] >= series[1] >= series[2]

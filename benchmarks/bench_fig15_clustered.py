@@ -1,0 +1,40 @@
+"""Figure 15: IPC of the clustered dependence-based machine.
+
+Paper: the 2x4-way clustered dependence-based machine (2-cycle
+inter-cluster bypasses) stays near the single-window 8-way baseline;
+the worst degradations are m88ksim (~12%) and compress (~9%), caused
+by inter-cluster bypass latency.
+"""
+
+from conftest import bench_instructions
+
+from repro.core.machines import clustered_dependence_8way
+from repro.uarch.pipeline import simulate
+from repro.workloads import get_trace
+
+DEP = "2-cluster dependence-based"
+WIN = "window-based 8-way"
+
+
+def format_report(result):
+    relative = result.relative_ipc(DEP, WIN)
+    lines = [result.format_table(), ""]
+    lines.append("relative IPC (clustered dependence-based / window-based):")
+    lines.append("  " + "  ".join(f"{w}={v:.3f}" for w, v in relative.items()))
+    mean = result.mean_relative_ipc(DEP, WIN)
+    lines.append(f"  mean={mean:.3f}   (paper mean degradation: 6.3%)")
+    return "\n".join(lines)
+
+
+def test_fig15_clustered_ipc(benchmark, paper_report, fig15_result):
+    trace = get_trace("m88ksim", bench_instructions())
+    config = clustered_dependence_8way()
+    benchmark.pedantic(simulate, args=(config, trace), rounds=1, iterations=1)
+
+    paper_report("Figure 15: IPC, window-based vs 2x4-way dependence-based",
+                 format_report(fig15_result))
+    relative = fig15_result.relative_ipc(DEP, WIN)
+    # Shape: close to the baseline, moderate worst case, never faster.
+    assert min(relative.values()) > 0.75
+    assert max(relative.values()) <= 1.02
+    assert fig15_result.mean_relative_ipc(DEP, WIN) > 0.82

@@ -1,0 +1,48 @@
+"""Figure 3: rename delay versus issue width.
+
+Paper: total rename delay rises (effectively linearly) with issue
+width for all three technologies; the bitline component grows fastest
+because bitlines are longer than wordlines; wire-dominated components
+worsen relative to logic as the feature size shrinks.
+"""
+
+from repro.delay.rename import COMPONENTS, RenameDelayModel
+from repro.technology import TECHNOLOGIES
+
+ISSUE_WIDTHS = (2, 4, 8)
+
+
+def sweep():
+    rows = []
+    for tech in TECHNOLOGIES:
+        model = RenameDelayModel(tech)
+        for issue_width in ISSUE_WIDTHS:
+            rows.append((tech.name, issue_width, model.total(issue_width),
+                         model.components(issue_width)))
+    return rows
+
+
+def format_report(rows):
+    lines = [f"{'tech':8s}{'width':>6s}{'total':>9s}" +
+             "".join(f"{c:>10s}" for c in COMPONENTS)]
+    for tech, width, total, components in rows:
+        lines.append(
+            f"{tech:8s}{width:6d}{total:9.1f}" +
+            "".join(f"{components[c]:10.1f}" for c in COMPONENTS)
+        )
+    return "\n".join(lines)
+
+
+def test_fig3_rename_delay(benchmark, paper_report):
+    rows = benchmark(sweep)
+    paper_report("Figure 3: rename delay vs issue width (ps)", format_report(rows))
+    # Shape checks: monotone in width, bitline grows fastest.
+    by_tech = {}
+    for tech, width, total, components in rows:
+        by_tech.setdefault(tech, []).append((width, total, components))
+    for series in by_tech.values():
+        totals = [t for _w, t, _c in series]
+        assert totals == sorted(totals)
+        first, last = series[0][2], series[-1][2]
+        growth = {c: last[c] - first[c] for c in COMPONENTS}
+        assert growth["bitline"] == max(growth.values())

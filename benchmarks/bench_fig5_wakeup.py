@@ -1,0 +1,47 @@
+"""Figure 5: wakeup delay versus window size at 0.18 um.
+
+Paper: delay rises with window size and issue width; the quadratic
+window dependence is visible for 8-way; going 2->4-way costs ~34% and
+4->8-way ~46% at a 64-entry window.
+"""
+
+from repro.delay.wakeup import WakeupDelayModel
+from repro.technology import TECH_018
+
+WINDOW_SIZES = (8, 16, 24, 32, 40, 48, 56, 64)
+ISSUE_WIDTHS = (2, 4, 8)
+
+
+def sweep():
+    model = WakeupDelayModel(TECH_018)
+    return {
+        width: [model.total(width, window) for window in WINDOW_SIZES]
+        for width in ISSUE_WIDTHS
+    }
+
+
+def format_report(series):
+    lines = [f"{'window':>8s}" + "".join(f"{w}-way".rjust(10) for w in ISSUE_WIDTHS)]
+    for index, window in enumerate(WINDOW_SIZES):
+        cells = "".join(f"{series[w][index]:10.1f}" for w in ISSUE_WIDTHS)
+        lines.append(f"{window:8d}" + cells)
+    return "\n".join(lines)
+
+
+def test_fig5_wakeup_delay(benchmark, paper_report):
+    series = benchmark(sweep)
+    paper_report("Figure 5: wakeup delay vs window size, 0.18um (ps)",
+                 format_report(series))
+    for width in ISSUE_WIDTHS:
+        assert series[width] == sorted(series[width])  # monotone in window
+    # Wider issue is slower at every window size.
+    for index in range(len(WINDOW_SIZES)):
+        assert series[2][index] <= series[4][index] <= series[8][index]
+    # Quadratic curvature for 8-way: later increments exceed earlier.
+    deltas = [b - a for a, b in zip(series[8], series[8][1:])]
+    assert deltas[-1] > deltas[0]
+    # Section 4.2.3 growth steps at 64 entries (generous bands).
+    growth_2_4 = series[4][-1] / series[2][-1] - 1
+    growth_4_8 = series[8][-1] / series[4][-1] - 1
+    assert 0.15 < growth_2_4 < 0.50
+    assert 0.30 < growth_4_8 < 0.65

@@ -1,0 +1,50 @@
+"""Figure 6: wakeup delay components versus feature size.
+
+Paper (8-way, 64-entry window): tag drive and tag match -- the
+wire-bearing components -- scale worse than the pure-logic match OR,
+so their share of the total grows from 52% at 0.8 um to 65% at
+0.18 um.
+"""
+
+from repro.delay.wakeup import COMPONENTS, WakeupDelayModel
+from repro.technology import TECHNOLOGIES
+
+ISSUE_WIDTH = 8
+WINDOW = 64
+
+
+def sweep():
+    rows = []
+    for tech in TECHNOLOGIES:
+        model = WakeupDelayModel(tech)
+        parts = model.components(ISSUE_WIDTH, WINDOW)
+        rows.append((tech.name, parts, model.wire_fraction(ISSUE_WIDTH, WINDOW)))
+    return rows
+
+
+def format_report(rows):
+    lines = [f"{'tech':8s}" + "".join(f"{c:>11s}" for c in COMPONENTS) +
+             f"{'total':>9s}{'wire%':>8s}"]
+    for tech, parts, fraction in rows:
+        total = sum(parts.values())
+        lines.append(
+            f"{tech:8s}" + "".join(f"{parts[c]:11.1f}" for c in COMPONENTS) +
+            f"{total:9.1f}{100 * fraction:7.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def test_fig6_wakeup_scaling(benchmark, paper_report):
+    rows = benchmark(sweep)
+    paper_report(
+        "Figure 6: wakeup components vs feature size, 8-way/64 (ps)",
+        format_report(rows),
+    )
+    fractions = {tech: fraction for tech, _parts, fraction in rows}
+    # Paper: 52% at 0.8um -> 65% at 0.18um.
+    assert fractions["0.18um"] > fractions["0.8um"]
+    assert abs(fractions["0.8um"] - 0.52) < 0.08
+    assert abs(fractions["0.18um"] - 0.65) < 0.05
+    # Total delay shrinks with feature size.
+    totals = [sum(parts.values()) for _t, parts, _f in rows]
+    assert totals[0] > totals[1] > totals[2]

@@ -1,0 +1,56 @@
+"""Figure 8: selection delay versus window size.
+
+Paper: delay grows logarithmically with window size (in steps of the
+4-ary arbiter-tree depth); doubling the window from 16 to 32 (or 64
+to 128) costs less than 100% because the root-cell delay is window
+independent; all components scale well with feature size (pure
+logic).
+"""
+
+from repro.delay.select import COMPONENTS, SelectionDelayModel
+from repro.technology import TECHNOLOGIES
+
+WINDOW_SIZES = (16, 32, 64, 128)
+
+
+def sweep():
+    return {
+        tech.name: {
+            window: SelectionDelayModel(tech).components(window)
+            for window in WINDOW_SIZES
+        }
+        for tech in TECHNOLOGIES
+    }
+
+
+def format_report(table):
+    headers = {"request_propagation": "request", "root": "root",
+               "grant_propagation": "grant"}
+    lines = [f"{'tech':8s}{'window':>8s}" +
+             "".join(f"{headers[c]:>10s}" for c in COMPONENTS) + f"{'total':>9s}"]
+    for tech, by_window in table.items():
+        for window, parts in by_window.items():
+            total = sum(parts.values())
+            lines.append(
+                f"{tech:8s}{window:8d}" +
+                "".join(f"{parts[c]:10.1f}" for c in COMPONENTS) +
+                f"{total:9.1f}"
+            )
+    return "\n".join(lines)
+
+
+def test_fig8_selection_delay(benchmark, paper_report):
+    table = benchmark(sweep)
+    paper_report("Figure 8: selection delay vs window size (ps)",
+                 format_report(table))
+    for tech_name, by_window in table.items():
+        totals = {w: sum(p.values()) for w, p in by_window.items()}
+        # Monotone, with sub-2x steps on doubling.
+        assert totals[16] <= totals[32] <= totals[64] <= totals[128]
+        assert totals[32] < 2 * totals[16]
+        assert totals[128] < 2 * totals[64]
+        # Root delay is window independent.
+        roots = {w: p["root"] for w, p in by_window.items()}
+        assert len(set(roots.values())) == 1
+    # Pure-logic structure: it shrinks substantially with feature size.
+    assert sum(table["0.18um"][64].values()) < 0.3 * sum(table["0.8um"][64].values())

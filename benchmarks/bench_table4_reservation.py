@@ -1,0 +1,48 @@
+"""Table 4: reservation-table delay (0.18 um).
+
+Paper: a 4-way machine with 80 physical registers needs a 10x8
+reservation table with 192.1 ps access; 8-way/128 needs 16x8 at
+251.7 ps -- far below the corresponding issue-window wakeup+select
+delays, which is the dependence-based design's clock advantage.
+"""
+
+import pytest
+
+from repro.delay.calibration import TABLE4_018
+from repro.delay.reservation import ReservationTableDelayModel
+from repro.delay.summary import window_logic_delay
+from repro.technology import TECH_018
+
+
+def sweep():
+    model = ReservationTableDelayModel(TECH_018)
+    return {
+        width: (
+            model.entries(spec["physical_registers"]),
+            model.total(width, spec["physical_registers"]),
+        )
+        for width, spec in TABLE4_018.items()
+    }
+
+
+def format_report(rows):
+    lines = [f"{'width':>6s}{'regs':>6s}{'entries':>9s}"
+             f"{'paper ps':>10s}{'ours ps':>9s}"]
+    for width, (entries, delay) in rows.items():
+        spec = TABLE4_018[width]
+        lines.append(
+            f"{width:6d}{spec['physical_registers']:6d}{entries:9d}"
+            f"{spec['delay_ps']:10.1f}{delay:9.1f}"
+        )
+    return "\n".join(lines)
+
+
+def test_table4_reservation_table(benchmark, paper_report):
+    rows = benchmark(sweep)
+    paper_report("Table 4: reservation-table delay, 0.18um", format_report(rows))
+    for width, (entries, delay) in rows.items():
+        spec = TABLE4_018[width]
+        assert entries == spec["entries"]
+        assert delay == pytest.approx(spec["delay_ps"], abs=0.05)
+    # Far below the window logic it replaces (Section 5.3).
+    assert rows[8][1] < 0.5 * window_logic_delay(TECH_018, 4, 32)

@@ -1,0 +1,63 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each ``bench_*`` module regenerates one of the paper's tables or
+figures.  The reproduced rows are registered through the
+``paper_report`` fixture and printed in the terminal summary (after
+the pytest-benchmark timing table), so ``pytest benchmarks/
+--benchmark-only`` shows both the timings and the paper-vs-measured
+data.
+
+Simulation length is controlled by the ``REPRO_BENCH_INSTRUCTIONS``
+environment variable (default 12000 dynamic instructions per
+benchmark program; the paper ran up to 0.5 B on real SPEC'95).
+"""
+
+import os
+
+import pytest
+
+from repro.core.experiments import run_fig13, run_fig15, run_fig17
+
+#: (title, text) report blocks, in registration order.
+_REPORTS: list[tuple[str, str]] = []
+
+
+def bench_instructions() -> int:
+    """Dynamic instructions per simulated benchmark run."""
+    return int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "12000"))
+
+
+@pytest.fixture
+def paper_report():
+    """Register a (title, body) block for the end-of-run summary."""
+
+    def add(title: str, body: str) -> None:
+        _REPORTS.append((title, body))
+
+    return add
+
+
+@pytest.fixture(scope="session")
+def fig13_result():
+    return run_fig13(max_instructions=bench_instructions())
+
+
+@pytest.fixture(scope="session")
+def fig15_result():
+    return run_fig15(max_instructions=bench_instructions())
+
+
+@pytest.fixture(scope="session")
+def fig17_result():
+    return run_fig17(max_instructions=bench_instructions())
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper reproduction results")
+    for title, body in _REPORTS:
+        terminalreporter.write_sep("-", title)
+        for line in body.splitlines():
+            terminalreporter.write_line(line)
+    _REPORTS.clear()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Bring your own workload: assemble a program, trace it, simulate it.
+
+Writes a dot-product kernel in the package's MIPS-like assembly,
+executes it functionally, inspects its dynamic character, and compares
+machines on it -- the full pipeline a user follows for their own code.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro.core.machines import (
+    baseline_8way,
+    clustered_dependence_8way,
+    dependence_based_8way,
+)
+from repro.isa import Emulator, assemble
+from repro.uarch.pipeline import simulate
+
+DOT_PRODUCT = """
+# dot product of two 64-element vectors, repeated to fill the trace
+        .data
+a:      .word 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3
+        .word 2, 3, 8, 4, 6, 2, 6, 4, 3, 3, 8, 3, 2, 7, 9, 5
+        .word 0, 2, 8, 8, 4, 1, 9, 7, 1, 6, 9, 3, 9, 9, 3, 7
+        .word 5, 1, 0, 5, 8, 2, 0, 9, 7, 4, 9, 4, 4, 5, 9, 2
+b:      .word 7, 1, 8, 2, 8, 1, 8, 2, 8, 4, 5, 9, 0, 4, 5, 2
+        .word 3, 5, 3, 6, 0, 2, 8, 7, 4, 7, 1, 3, 5, 2, 6, 6
+        .word 2, 4, 9, 7, 7, 5, 7, 2, 4, 7, 0, 6, 6, 3, 1, 7
+        .word 7, 6, 6, 9, 4, 7, 3, 0, 1, 1, 1, 5, 7, 3, 9, 8
+        .text
+main:   li   r10, 0            # grand total (survives repeats)
+repeat: la   r1, a
+        la   r2, b
+        li   r3, 64            # elements
+        li   r4, 0             # dot product
+inner:  lw   r5, 0(r1)
+        lw   r6, 0(r2)
+        mult r7, r5, r6
+        addu r4, r4, r7
+        addiu r1, r1, 4
+        addiu r2, r2, 4
+        addiu r3, r3, -1
+        bgtz r3, inner
+        addu r10, r10, r4
+        b    repeat
+"""
+
+
+def expected_dot_product(program) -> int:
+    """Recompute the kernel's answer in Python from the data image."""
+    base_a = program.data_labels["a"]
+    base_b = program.data_labels["b"]
+
+    def word(base, index):
+        address = base + 4 * index
+        return sum(
+            program.data_image.get(address + i, 0) << (8 * i) for i in range(4)
+        )
+
+    return sum(word(base_a, i) * word(base_b, i) for i in range(64))
+
+
+def main() -> None:
+    program = assemble(DOT_PRODUCT)
+    print(f"assembled {len(program)} instructions; entry at 'main'\n")
+
+    # Functional check: run exactly one pass (4 setup + 64*8 inner + 1)
+    # and compare against a Python recomputation.
+    one_pass = Emulator(program)
+    one_pass.run(max_instructions=4 + 64 * 8 + 1)
+    expected = expected_dot_product(program)
+    measured = one_pass.int_regs[4]
+    status = "ok" if measured == expected else "MISMATCH"
+    print(f"functional check: dot product = {measured} "
+          f"(python says {expected}) -- {status}")
+
+    # Then a long run for the timing comparison.
+    emulator = Emulator(program)
+    trace = emulator.run(max_instructions=12_000)
+    print(
+        f"dynamic character: {len(trace)} instructions, "
+        f"{100 * trace.branch_fraction():.1f}% branches, "
+        f"{100 * trace.load_fraction():.1f}% loads\n"
+    )
+
+    trace.name = "dot-product"
+    print("machine comparison:")
+    for config in (
+        baseline_8way(),
+        dependence_based_8way(),
+        clustered_dependence_8way(),
+    ):
+        stats = simulate(config, trace)
+        print(
+            f"  {config.name:28s} IPC={stats.ipc:.3f} "
+            f"(bpred {100 * stats.branch_accuracy:.1f}%, "
+            f"dmiss {100 * stats.cache_miss_rate:.1f}%, "
+            f"x-bypass {100 * stats.inter_cluster_bypass_frequency:.1f}%)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Section 4 study: how structure delays scale with machine width,
+window size, and feature size.
+
+Reproduces the data behind Figures 3, 5, 6, and 8 and Table 2, and
+prints the paper's punchline: which structure limits the clock at each
+design point.
+
+Run:  python examples/delay_scaling_study.py
+"""
+
+from repro.delay import (
+    BypassDelayModel,
+    RenameDelayModel,
+    SelectionDelayModel,
+    WakeupDelayModel,
+)
+from repro.delay.summary import overall_delays
+from repro.technology import TECH_018, TECHNOLOGIES
+
+
+def rename_study() -> None:
+    print("== Rename delay vs issue width (ps) ==")
+    widths = (1, 2, 4, 8, 16)
+    print(f"{'tech':8s}" + "".join(f"{w:>8d}" for w in widths))
+    for tech in TECHNOLOGIES:
+        model = RenameDelayModel(tech)
+        print(f"{tech.name:8s}" + "".join(f"{model.total(w):8.1f}" for w in widths))
+
+
+def window_study() -> None:
+    print("\n== Window logic (wakeup + select) vs window size, 0.18um (ps) ==")
+    windows = (8, 16, 32, 64, 128, 256)
+    wakeup = WakeupDelayModel(TECH_018)
+    select = SelectionDelayModel(TECH_018)
+    print(f"{'width':>6s}" + "".join(f"{w:>8d}" for w in windows))
+    for width in (2, 4, 8):
+        row = "".join(
+            f"{wakeup.total(width, w) + select.total(w):8.1f}" for w in windows
+        )
+        print(f"{width:6d}" + row)
+
+
+def bypass_study() -> None:
+    print("\n== Bypass delay vs issue width (any technology, ps) ==")
+    model = BypassDelayModel(TECH_018)
+    for width in (2, 4, 8, 16):
+        length = model.wire_length_lambda(width)
+        print(
+            f"  {width:2d}-way: wire {length:8.0f} lambda, "
+            f"delay {model.total(width):8.1f} ps, "
+            f"{model.path_count(width):4d} bypass paths"
+        )
+
+
+def critical_path_study() -> None:
+    print("\n== Critical structure per design point ==")
+    for tech in TECHNOLOGIES:
+        for point in ((4, 32), (8, 64)):
+            summary = overall_delays(tech, *point)
+            slowest = max(
+                ("rename", summary.rename_ps),
+                ("window logic", summary.window_logic_ps),
+                ("bypass", summary.bypass_ps),
+                key=lambda item: item[1],
+            )
+            print(
+                f"  {tech.name:8s} {point[0]}-way/{point[1]:3d}: "
+                f"{slowest[0]:12s} at {slowest[1]:7.1f} ps"
+            )
+    print("  (the paper's conclusion: window logic limits 4-way, bypass 8-way)")
+
+
+def main() -> None:
+    rename_study()
+    window_study()
+    bypass_study()
+    critical_path_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 517 editable installs fail; ``pip install -e . --no-use-pep517``
+uses this shim instead.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

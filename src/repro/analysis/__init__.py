@@ -1,0 +1,31 @@
+"""Dynamic-trace analysis.
+
+Tools to characterise the workloads driving the timing experiments:
+instruction mix, register dependence structure (the property the
+dependence-based microarchitecture exploits), dataflow ILP limits,
+branch behaviour, and memory footprint.
+"""
+
+from repro.analysis.traces import (
+    TraceProfile,
+    basic_block_lengths,
+    branch_profile,
+    dependence_distance_histogram,
+    memory_profile,
+    profile_trace,
+    short_dependence_fraction,
+    unbounded_dataflow_ilp,
+    windowed_dataflow_ilp,
+)
+
+__all__ = [
+    "TraceProfile",
+    "profile_trace",
+    "dependence_distance_histogram",
+    "short_dependence_fraction",
+    "windowed_dataflow_ilp",
+    "unbounded_dataflow_ilp",
+    "branch_profile",
+    "memory_profile",
+    "basic_block_lengths",
+]

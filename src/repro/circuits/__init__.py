@@ -1,0 +1,31 @@
+"""Structural (geometry) models of the studied circuit blocks.
+
+The paper derives each structure's delay from the layout geometry of a
+representative CMOS circuit: the rename map table is a multi-ported RAM
+whose cells grow with the number of ports, the wakeup array is a CAM
+whose tag lines run the height of the window, selection is a tree of
+4-input arbiters, and the bypass network is a set of result wires whose
+length is set by the datapath layout.
+
+This package captures exactly that geometry: given microarchitectural
+parameters (issue width, window size, register counts) it produces wire
+lengths in lambda, port/comparator counts, and tree depths.  The delay
+models in :mod:`repro.delay` combine these with the wire physics in
+:mod:`repro.technology` and the calibrated logic constants.
+"""
+
+from repro.circuits.ram import RamGeometry, rename_map_table_geometry
+from repro.circuits.cam import CamGeometry, wakeup_array_geometry
+from repro.circuits.arbiter import ArbiterTree, selection_tree
+from repro.circuits.datapath import BypassDatapath, bypass_path_count
+
+__all__ = [
+    "RamGeometry",
+    "rename_map_table_geometry",
+    "CamGeometry",
+    "wakeup_array_geometry",
+    "ArbiterTree",
+    "selection_tree",
+    "BypassDatapath",
+    "bypass_path_count",
+]

@@ -1,0 +1,63 @@
+"""Arbiter-tree geometry (the selection logic).
+
+Section 4.3: selection logic is a tree of arbiter cells.  Request
+signals propagate from the window entries up to the root; the root
+grants one requester; the grant propagates back down.  The paper found
+four-input arbiter cells optimal (as in the MIPS R10000), so the tree
+is 4-ary and its depth is ``ceil(log4(window_size))``.  The root-cell
+delay is independent of window size, which is why the total delay grows
+logarithmically and in steps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Optimal arbiter fan-in found by the paper (and used in the R10000).
+ARBITER_FANIN = 4
+
+
+@dataclass(frozen=True)
+class ArbiterTree:
+    """A 4-ary arbitration tree over a window of request signals.
+
+    Attributes:
+        window_size: Number of request inputs (window entries).
+    """
+
+    window_size: int
+
+    def __post_init__(self) -> None:
+        if self.window_size < 1:
+            raise ValueError(f"window size must be >= 1, got {self.window_size}")
+
+    @property
+    def levels(self) -> int:
+        """Depth of the tree (arbiter cells on a root-to-leaf path)."""
+        if self.window_size == 1:
+            return 1
+        return math.ceil(math.log(self.window_size, ARBITER_FANIN))
+
+    @property
+    def cell_count(self) -> int:
+        """Total number of arbiter cells in the tree."""
+        cells = 0
+        width = self.window_size
+        while width > 1:
+            width = math.ceil(width / ARBITER_FANIN)
+            cells += width
+        return max(cells, 1)
+
+    def request_hops(self) -> int:
+        """Arbiter cells a request traverses on the way to the root."""
+        return self.levels
+
+    def grant_hops(self) -> int:
+        """Arbiter cells a grant traverses on the way back down."""
+        return self.levels
+
+
+def selection_tree(window_size: int) -> ArbiterTree:
+    """Build the selection arbiter tree for a window."""
+    return ArbiterTree(window_size=window_size)

@@ -1,0 +1,89 @@
+"""CAM geometry (the issue-window wakeup array).
+
+Section 4.2: the issue window is a CAM with one instruction per entry.
+``IW`` result tags are broadcast down tag lines that span the full
+window height; each entry holds ``2 * IW`` comparators (each of the two
+operand tags is compared against every result tag).  Increasing the
+issue width adds matchlines and comparators to every entry, making each
+entry taller; increasing the window size adds entries.  Both therefore
+lengthen the tag lines, and tag-drive time grows quadratically with
+window size (distributed RC) with an issue-width-dependent weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Height of a window entry with a single matchline, in lambda.
+_ENTRY_BASE_H_LAMBDA = 60.0
+#: Extra entry height per result tag (one matchline track plus the
+#: comparator pull-down rows it requires), in lambda.
+_ENTRY_PER_TAG_H_LAMBDA = 14.0
+#: Width of the tag-comparator portion of an entry, in lambda; this is
+#: the length of one matchline.
+_MATCHLINE_BASE_W_LAMBDA = 250.0
+_MATCHLINE_PER_TAG_W_LAMBDA = 25.0
+
+
+@dataclass(frozen=True)
+class CamGeometry:
+    """Geometry of the wakeup CAM array.
+
+    Attributes:
+        window_size: Number of entries (instructions) in the window.
+        issue_width: Result tags broadcast per cycle.
+        tag_bits: Width of a result tag in bits.
+    """
+
+    window_size: int
+    issue_width: int
+    tag_bits: int = 7
+
+    def __post_init__(self) -> None:
+        if self.window_size < 1:
+            raise ValueError(f"window size must be >= 1, got {self.window_size}")
+        if self.issue_width < 1:
+            raise ValueError(f"issue width must be >= 1, got {self.issue_width}")
+        if self.tag_bits < 1:
+            raise ValueError(f"tag bits must be >= 1, got {self.tag_bits}")
+
+    @property
+    def comparators_per_entry(self) -> int:
+        """Each of 2 operand tags compared against every result tag."""
+        return 2 * self.issue_width
+
+    @property
+    def total_comparators(self) -> int:
+        """Comparators in the whole array (tag-line load)."""
+        return self.comparators_per_entry * self.window_size
+
+    @property
+    def entry_height_lambda(self) -> float:
+        """Height of one window entry, growing with issue width."""
+        return _ENTRY_BASE_H_LAMBDA + _ENTRY_PER_TAG_H_LAMBDA * self.issue_width
+
+    @property
+    def tagline_length_lambda(self) -> float:
+        """Length of one tag line: it spans every entry."""
+        return self.window_size * self.entry_height_lambda
+
+    @property
+    def matchline_length_lambda(self) -> float:
+        """Length of one matchline, growing with issue width."""
+        return _MATCHLINE_BASE_W_LAMBDA + _MATCHLINE_PER_TAG_W_LAMBDA * self.issue_width
+
+
+def wakeup_array_geometry(
+    issue_width: int, window_size: int, physical_registers: int = 120
+) -> CamGeometry:
+    """Geometry of the wakeup array for the given design point.
+
+    Args:
+        issue_width: Maximum result tags produced per cycle.
+        window_size: Issue-window entries.
+        physical_registers: Determines the tag width.
+    """
+    if physical_registers < 2:
+        raise ValueError("physical register count must be >= 2")
+    tag_bits = max(1, (physical_registers - 1).bit_length())
+    return CamGeometry(window_size=window_size, issue_width=issue_width, tag_bits=tag_bits)

@@ -1,0 +1,75 @@
+"""Bypass datapath geometry.
+
+Section 4.4: result wires run past every functional unit (and the
+register file) so that any completing instruction's value can be muxed
+into any functional-unit input.  The wire length is set by the layout:
+stacked functional units on either side of the register file.  Each
+functional unit's bit-slice height grows with the number of result
+wires routed through it (one track per result bus), so total wire
+length -- and, through distributed RC, bypass delay -- grows
+quadratically with issue width.
+
+The track/height constants below are chosen so that the model's wire
+lengths equal the paper's Table 1 exactly: 20 500 lambda for a 4-way
+machine and 49 000 lambda for an 8-way machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Bit-slice height of one functional unit with no bypass tracks.
+FU_BASE_HEIGHT_LAMBDA = 4125.0
+#: Extra bit-slice height per result-wire track routed through each FU.
+TRACK_HEIGHT_LAMBDA = 250.0
+
+
+@dataclass(frozen=True)
+class BypassDatapath:
+    """The bypass network of a machine with ``issue_width`` result buses.
+
+    Attributes:
+        issue_width: Number of functional-unit result buses (the paper
+            sizes one functional unit per issue slot for this analysis).
+        pipe_stages_after_result: Pipestages after the first
+            result-producing stage; determines how many bypass sources
+            each operand mux must accept.
+    """
+
+    issue_width: int
+    pipe_stages_after_result: int = 1
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1:
+            raise ValueError(f"issue width must be >= 1, got {self.issue_width}")
+        if self.pipe_stages_after_result < 1:
+            raise ValueError(
+                f"pipe stages must be >= 1, got {self.pipe_stages_after_result}"
+            )
+
+    @property
+    def fu_height_lambda(self) -> float:
+        """Bit-slice height of one functional unit, with bypass tracks."""
+        return FU_BASE_HEIGHT_LAMBDA + TRACK_HEIGHT_LAMBDA * self.issue_width
+
+    @property
+    def result_wire_length_lambda(self) -> float:
+        """Length of one result wire: it spans the whole FU stack."""
+        return self.issue_width * self.fu_height_lambda
+
+    @property
+    def path_count(self) -> int:
+        """Number of bypass paths in a fully bypassed design.
+
+        With issue width ``IW``, ``S`` pipestages after the first
+        result-producing stage, and 2-input functional units, a full
+        bypass network needs ``2 * IW**2 * S`` paths (each of the
+        ``IW * S`` in-flight results to each of the ``2 * IW`` operand
+        inputs) -- quadratic in issue width (Section 4.4, citing [1]).
+        """
+        return 2 * self.issue_width**2 * self.pipe_stages_after_result
+
+
+def bypass_path_count(issue_width: int, pipe_stages_after_result: int = 1) -> int:
+    """Bypass paths required for a fully bypassed design."""
+    return BypassDatapath(issue_width, pipe_stages_after_result).path_count

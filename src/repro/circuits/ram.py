@@ -1,0 +1,104 @@
+"""Multi-ported RAM geometry (the RAM-scheme rename map table).
+
+Section 4.1: the map table is a register file indexed by logical
+register designator.  Renaming ``IW`` instructions per cycle requires
+``2 * IW`` read ports (two source operands each) and ``IW`` write ports
+(one destination each).  Each port adds one wordline track to a cell's
+height and one bitline track (per bit) to its width, so increasing the
+issue width lengthens both the wordlines and the bitlines -- which is
+why the rename delay grows (mostly linearly) with issue width.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Single-ported RAM cell dimensions in lambda (typical 6T-cell scale).
+_CELL_BASE_W_LAMBDA = 30.0
+_CELL_BASE_H_LAMBDA = 30.0
+#: Extra lambda of cell width/height per additional port (one bitline
+#: track horizontally, one wordline track vertically).
+_TRACK_PITCH_LAMBDA = 8.0
+
+
+@dataclass(frozen=True)
+class RamGeometry:
+    """Geometry of a multi-ported RAM array.
+
+    Attributes:
+        rows: Number of entries (wordlines per port).
+        bits: Bits per entry (columns).
+        read_ports: Number of read ports.
+        write_ports: Number of write ports.
+    """
+
+    rows: int
+    bits: int
+    read_ports: int
+    write_ports: int
+
+    def __post_init__(self) -> None:
+        for name in ("rows", "bits", "read_ports", "write_ports"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+
+    @property
+    def ports(self) -> int:
+        """Total port count."""
+        return self.read_ports + self.write_ports
+
+    @property
+    def cell_width_lambda(self) -> float:
+        """Width of one cell, including per-port bitline tracks."""
+        return _CELL_BASE_W_LAMBDA + _TRACK_PITCH_LAMBDA * self.ports
+
+    @property
+    def cell_height_lambda(self) -> float:
+        """Height of one cell, including per-port wordline tracks."""
+        return _CELL_BASE_H_LAMBDA + _TRACK_PITCH_LAMBDA * self.ports
+
+    @property
+    def wordline_length_lambda(self) -> float:
+        """Length of a wordline: it spans every column."""
+        return self.bits * self.cell_width_lambda
+
+    @property
+    def bitline_length_lambda(self) -> float:
+        """Length of a bitline: it spans every row."""
+        return self.rows * self.cell_height_lambda
+
+    @property
+    def decoder_fanin(self) -> int:
+        """Number of address bits the row decoder must decode."""
+        return max(1, math.ceil(math.log2(self.rows)))
+
+
+def rename_map_table_geometry(
+    issue_width: int,
+    logical_registers: int = 32,
+    physical_registers: int = 120,
+) -> RamGeometry:
+    """Geometry of the rename map table for a given issue width.
+
+    Args:
+        issue_width: Instructions renamed per cycle.
+        logical_registers: Entries in the table (ISA register count).
+        physical_registers: Determines the width of each entry (the
+            physical register designator stored per logical register).
+
+    Raises:
+        ValueError: for non-positive parameters.
+    """
+    if issue_width < 1:
+        raise ValueError(f"issue width must be >= 1, got {issue_width}")
+    if logical_registers < 2 or physical_registers < 2:
+        raise ValueError("register counts must be >= 2")
+    designator_bits = math.ceil(math.log2(physical_registers))
+    return RamGeometry(
+        rows=logical_registers,
+        bits=designator_bits,
+        read_ports=2 * issue_width,
+        write_ports=issue_width,
+    )

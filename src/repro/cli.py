@@ -1,0 +1,278 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``delay``      -- print the Table 2 delay summary (and Table 4).
+* ``machines``   -- list the simulated machine configurations.
+* ``workloads``  -- list (and optionally profile) the benchmark suite.
+* ``simulate``   -- run one machine over one workload.
+* ``experiment`` -- regenerate fig13 / fig15 / fig17 / speedup.
+* ``asm``        -- assemble, run, and optionally simulate a program.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import profile_trace
+from repro.core import experiments, machines, speedup
+from repro.delay.reservation import ReservationTableDelayModel
+from repro.delay.summary import overall_delays
+from repro.isa import assemble, run_to_trace
+from repro.report import bar_chart, text_table
+from repro.technology import TECHNOLOGIES, technology_by_feature_size
+from repro.uarch.pipeline import simulate as run_simulation
+from repro.workloads import WORKLOAD_NAMES, get_trace
+
+#: CLI machine names -> factory functions.
+MACHINES = {
+    "baseline": machines.baseline_8way,
+    "dependence": machines.dependence_based_8way,
+    "clustered-fifos": machines.clustered_dependence_8way,
+    "clustered-windows": machines.clustered_windows_8way,
+    "exec-steer": machines.clustered_exec_steer_8way,
+    "random-steer": machines.clustered_random_8way,
+    "modulo-steer": machines.clustered_modulo_8way,
+    "least-loaded-steer": machines.clustered_least_loaded_8way,
+}
+
+
+def _cmd_delay(args) -> int:
+    techs = (
+        [technology_by_feature_size(args.tech)] if args.tech else list(TECHNOLOGIES)
+    )
+    rows = []
+    for tech in techs:
+        for point in ((4, 32), (8, 64)):
+            summary = overall_delays(tech, *point)
+            rows.append(
+                [
+                    tech.name,
+                    f"{point[0]}-way/{point[1]}",
+                    round(summary.rename_ps, 1),
+                    round(summary.window_logic_ps, 1),
+                    round(summary.bypass_ps, 1),
+                    round(summary.critical_path_ps, 1),
+                ]
+            )
+    print(text_table(
+        ["tech", "design", "rename", "wakeup+select", "bypass", "critical"], rows
+    ))
+    print("\nreservation table (dependence-based wakeup):")
+    for tech in techs:
+        model = ReservationTableDelayModel(tech)
+        print(f"  {tech.name}: 4-way/80 regs {model.total(4, 80):7.1f} ps, "
+              f"8-way/128 regs {model.total(8, 128):7.1f} ps")
+    return 0
+
+
+def _cmd_machines(_args) -> int:
+    for name, factory in MACHINES.items():
+        config = factory()
+        organisation = " + ".join(
+            (f"{c.fifo_count}x{c.fifo_depth} FIFOs" if c.uses_fifos
+             else f"{c.window_size}-entry window")
+            for c in config.clusters
+        )
+        print(f"  {name:20s} {config.name:30s} {organisation}, "
+              f"{config.total_fu_count} FUs, steering={config.steering.value}")
+    return 0
+
+
+def _cmd_workloads(args) -> int:
+    for name in WORKLOAD_NAMES:
+        trace = get_trace(name, args.instructions)
+        if args.profile:
+            print(profile_trace(trace).format_report())
+            print()
+        else:
+            print(f"  {name:10s} {len(trace)} insts, "
+                  f"{100 * trace.branch_fraction():.1f}% branches, "
+                  f"{100 * trace.load_fraction():.1f}% loads")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    config = MACHINES[args.machine]()
+    trace = get_trace(args.workload, args.instructions)
+    stats = run_simulation(config, trace)
+    print(stats.summary())
+    if args.verbose:
+        print(f"  fetched {stats.fetched}, mispredicts {stats.mispredicts}, "
+              f"store forwards {stats.store_forwards}")
+        if stats.dispatch_stalls:
+            stalls = ", ".join(
+                f"{k}={v}" for k, v in sorted(stats.dispatch_stalls.items())
+            )
+            print(f"  dispatch stalls: {stalls}")
+        histogram = {
+            f"{k} issued": v for k, v in sorted(stats.issue_histogram.items())
+        }
+        print(bar_chart(histogram, unit=" cycles"))
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    from repro.report.timeline import render_timeline
+    from repro.uarch.pipeline import PipelineSimulator
+
+    config = MACHINES[args.machine]()
+    trace = get_trace(args.workload, args.instructions)
+    simulator = PipelineSimulator(config, trace)
+    simulator.run()
+    print(render_timeline(simulator, first=args.start, count=args.count))
+    print(simulator.stats.summary())
+    return 0
+
+
+def _cmd_frontier(args) -> int:
+    from repro.core.frontier import (
+        conventional_frontier,
+        dependence_based_point,
+        format_frontier,
+    )
+
+    points = conventional_frontier(max_instructions=args.instructions)
+    points.append(dependence_based_point(max_instructions=args.instructions))
+    print(format_frontier(points))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    if args.which == "speedup":
+        summary = speedup.speedup_summary(max_instructions=args.instructions)
+        print(summary.format_table())
+        return 0
+    runner = {
+        "fig13": experiments.run_fig13,
+        "fig15": experiments.run_fig15,
+        "fig17": experiments.run_fig17,
+    }[args.which]
+    result = runner(max_instructions=args.instructions)
+    print(result.format_table())
+    if args.which == "fig17":
+        print("\ninter-cluster bypass frequency:")
+        print(result.format_table("bypass"))
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    from repro.lang import compile_source, compile_to_assembly
+
+    with open(args.file, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    if args.listing:
+        print(compile_to_assembly(source))
+    program = compile_source(source)
+    trace = run_to_trace(program, max_instructions=args.instructions,
+                         name=args.file)
+    from repro.isa import Emulator
+
+    emulator = Emulator(program)
+    emulator.run(max_instructions=args.instructions)
+    print(f"compiled {len(program)} instructions; "
+          f"main returned {emulator.int_regs[2]} "
+          f"({'halted' if emulator.halted else 'capped'})")
+    if args.simulate:
+        stats = run_simulation(MACHINES[args.simulate](), trace)
+        print(stats.summary())
+    return 0
+
+
+def _cmd_asm(args) -> int:
+    with open(args.file, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    program = assemble(source)
+    if args.listing:
+        print(program.disassemble())
+    trace = run_to_trace(program, max_instructions=args.instructions,
+                         name=args.file)
+    print(f"executed {len(trace)} instructions "
+          f"({'halted' if trace.halted else 'capped'})")
+    print(profile_trace(trace).format_report())
+    if args.simulate:
+        stats = run_simulation(MACHINES[args.simulate](), trace)
+        print(stats.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Complexity-Effective Superscalar "
+                    "Processors' (ISCA 1997)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    delay = commands.add_parser("delay", help="print the Table 2 delay summary")
+    delay.add_argument("--tech", type=float, default=None,
+                       help="feature size in um (0.8, 0.35, 0.18); default all")
+    delay.set_defaults(func=_cmd_delay)
+
+    machine_list = commands.add_parser("machines", help="list machine configs")
+    machine_list.set_defaults(func=_cmd_machines)
+
+    workloads = commands.add_parser("workloads", help="list the benchmark suite")
+    workloads.add_argument("--profile", action="store_true",
+                           help="print full trace characterisation")
+    workloads.add_argument("-n", "--instructions", type=int, default=5_000)
+    workloads.set_defaults(func=_cmd_workloads)
+
+    simulate = commands.add_parser("simulate", help="run one machine on one workload")
+    simulate.add_argument("machine", choices=sorted(MACHINES))
+    simulate.add_argument("workload", choices=WORKLOAD_NAMES)
+    simulate.add_argument("-n", "--instructions", type=int, default=20_000)
+    simulate.add_argument("-v", "--verbose", action="store_true")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    experiment = commands.add_parser("experiment", help="regenerate a figure")
+    experiment.add_argument("which", choices=("fig13", "fig15", "fig17", "speedup"))
+    experiment.add_argument("-n", "--instructions", type=int, default=15_000)
+    experiment.set_defaults(func=_cmd_experiment)
+
+    timeline = commands.add_parser("timeline", help="render a pipeline timeline")
+    timeline.add_argument("machine", choices=sorted(MACHINES))
+    timeline.add_argument("workload", choices=WORKLOAD_NAMES)
+    timeline.add_argument("-n", "--instructions", type=int, default=2_000)
+    timeline.add_argument("--start", type=int, default=0,
+                          help="first dynamic instruction to show")
+    timeline.add_argument("--count", type=int, default=24)
+    timeline.set_defaults(func=_cmd_timeline)
+
+    frontier = commands.add_parser(
+        "frontier", help="the complexity-effectiveness frontier"
+    )
+    frontier.add_argument("-n", "--instructions", type=int, default=8_000)
+    frontier.set_defaults(func=_cmd_frontier)
+
+    asm = commands.add_parser("asm", help="assemble and run a program")
+    asm.add_argument("file")
+    asm.add_argument("-n", "--instructions", type=int, default=100_000)
+    asm.add_argument("--listing", action="store_true", help="print disassembly")
+    asm.add_argument("--simulate", choices=sorted(MACHINES), default=None,
+                     help="also run the trace through a machine")
+    asm.set_defaults(func=_cmd_asm)
+
+    compile_cmd = commands.add_parser(
+        "compile", help="compile and run a Mini program"
+    )
+    compile_cmd.add_argument("file")
+    compile_cmd.add_argument("-n", "--instructions", type=int, default=300_000)
+    compile_cmd.add_argument("--listing", action="store_true",
+                             help="print generated assembly")
+    compile_cmd.add_argument("--simulate", choices=sorted(MACHINES), default=None)
+    compile_cmd.set_defaults(func=_cmd_compile)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

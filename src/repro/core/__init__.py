@@ -1,0 +1,58 @@
+"""High-level API: machine factories, experiments, and speedups.
+
+* :mod:`repro.core.machines` -- factory functions for every machine
+  configuration the paper simulates (Figures 13, 15, and 17).
+* :mod:`repro.core.experiments` -- experiment drivers that run the
+  machines over the benchmark suite and package the results.
+* :mod:`repro.core.speedup` -- the Section 5.5 clock-adjusted
+  performance comparison.
+"""
+
+from repro.core.machines import (
+    baseline_8way,
+    clustered_dependence_8way,
+    clustered_exec_steer_8way,
+    clustered_least_loaded_8way,
+    clustered_modulo_8way,
+    clustered_random_8way,
+    clustered_windows_8way,
+    dependence_based_8way,
+    fig17_machines,
+)
+from repro.core.experiments import (
+    ExperimentResult,
+    run_fig13,
+    run_fig15,
+    run_fig17,
+    run_machines,
+)
+from repro.core.speedup import clock_adjusted_speedup, speedup_summary
+from repro.core.frontier import (
+    FrontierPoint,
+    conventional_frontier,
+    dependence_based_point,
+    format_frontier,
+)
+
+__all__ = [
+    "baseline_8way",
+    "dependence_based_8way",
+    "clustered_dependence_8way",
+    "clustered_windows_8way",
+    "clustered_exec_steer_8way",
+    "clustered_modulo_8way",
+    "clustered_least_loaded_8way",
+    "clustered_random_8way",
+    "fig17_machines",
+    "ExperimentResult",
+    "run_machines",
+    "run_fig13",
+    "run_fig15",
+    "run_fig17",
+    "clock_adjusted_speedup",
+    "speedup_summary",
+    "FrontierPoint",
+    "conventional_frontier",
+    "dependence_based_point",
+    "format_frontier",
+]

@@ -1,0 +1,190 @@
+"""The complexity-effectiveness frontier: IPC x clock vs window size.
+
+The paper's framing: growing the issue window raises IPC but slows
+the clock (wakeup + select delay grows with window size), so *true*
+performance -- instructions per second -- peaks somewhere, and a
+microarchitecture that breaks the trade-off (the dependence-based
+design) can sit above the whole curve.  This module sweeps the
+conventional design space and places the dependence-based machine on
+the same axes.
+
+Clock model: the cycle is bounded by the slower of rename and window
+logic (wakeup + select).  Bypass delay is excluded from the bound
+because the paper's remedy for it -- clustering -- applies to both
+kinds of machine and is evaluated separately (Figures 15/17); this is
+the same accounting Section 5.5 uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.machines import baseline_8way, dependence_based_8way
+from repro.delay.rename import RenameDelayModel
+from repro.delay.reservation import ReservationTableDelayModel
+from repro.delay.select import SelectionDelayModel
+from repro.delay.wakeup import WakeupDelayModel
+from repro.technology.params import TECH_018, Technology
+from repro.uarch.pipeline import simulate
+from repro.workloads import WORKLOAD_NAMES, get_trace
+
+#: Window sizes swept for the conventional curve.
+DEFAULT_WINDOW_SIZES = (8, 16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One design point on the IPC-vs-clock trade-off."""
+
+    label: str
+    window_size: int
+    mean_ipc: float
+    clock_ps: float
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Clock frequency implied by the critical delay."""
+        return 1000.0 / self.clock_ps
+
+    @property
+    def bips(self) -> float:
+        """Billions of instructions per second: IPC x frequency."""
+        return self.mean_ipc * self.frequency_ghz
+
+
+def _geometric_mean(values: list[float]) -> float:
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def conventional_clock_ps(tech: Technology, issue_width: int, window_size: int) -> float:
+    """Cycle bound for a conventional window machine: the slower of
+    rename and wakeup+select (see module docstring on bypass)."""
+    rename = RenameDelayModel(tech).total(issue_width)
+    window_logic = WakeupDelayModel(tech).total(issue_width, window_size)
+    window_logic += SelectionDelayModel(tech).total(window_size)
+    return max(rename, window_logic)
+
+
+def dependence_clock_ps(
+    tech: Technology,
+    issue_width: int,
+    physical_registers: int = 128,
+    fifo_count: int = 8,
+) -> float:
+    """Cycle bound for the dependence-based machine: the slower of
+    rename and its reservation-table wakeup + heads-only select."""
+    rename = RenameDelayModel(tech).total(issue_width)
+    wakeup = ReservationTableDelayModel(tech).total(issue_width, physical_registers)
+    select = SelectionDelayModel(tech).total(fifo_count)
+    return max(rename, wakeup + select)
+
+
+def _mean_ipc(config, workloads, max_instructions) -> float:
+    ipcs = [
+        simulate(config, get_trace(name, max_instructions)).ipc
+        for name in workloads
+    ]
+    return _geometric_mean(ipcs)
+
+
+def conventional_frontier(
+    tech: Technology = TECH_018,
+    issue_width: int = 8,
+    window_sizes: tuple[int, ...] = DEFAULT_WINDOW_SIZES,
+    workloads: tuple[str, ...] = WORKLOAD_NAMES,
+    max_instructions: int = 10_000,
+) -> list[FrontierPoint]:
+    """Sweep conventional window sizes; IPC from simulation, clock
+    from the delay models."""
+    points = []
+    for window_size in window_sizes:
+        config = baseline_8way(window_size=window_size, issue_width=issue_width)
+        mean_ipc = _mean_ipc(config, workloads, max_instructions)
+        clock = conventional_clock_ps(tech, issue_width, window_size)
+        points.append(
+            FrontierPoint(
+                label=f"window-{window_size}",
+                window_size=window_size,
+                mean_ipc=mean_ipc,
+                clock_ps=clock,
+            )
+        )
+    return points
+
+
+def dependence_based_point(
+    tech: Technology = TECH_018,
+    issue_width: int = 8,
+    fifo_count: int = 8,
+    fifo_depth: int = 8,
+    workloads: tuple[str, ...] = WORKLOAD_NAMES,
+    max_instructions: int = 10_000,
+) -> FrontierPoint:
+    """The dependence-based machine on the same axes."""
+    config = dependence_based_8way(fifo_count=fifo_count, fifo_depth=fifo_depth)
+    mean_ipc = _mean_ipc(config, workloads, max_instructions)
+    clock = dependence_clock_ps(tech, issue_width, fifo_count=fifo_count)
+    return FrontierPoint(
+        label=f"dependence-{fifo_count}x{fifo_depth}",
+        window_size=fifo_count * fifo_depth,
+        mean_ipc=mean_ipc,
+        clock_ps=clock,
+    )
+
+
+def issue_width_frontier(
+    tech: Technology = TECH_018,
+    issue_widths: tuple[int, ...] = (2, 4, 8),
+    window_per_width: int = 8,
+    workloads: tuple[str, ...] = WORKLOAD_NAMES,
+    max_instructions: int = 10_000,
+) -> list[FrontierPoint]:
+    """Sweep the other complexity axis: issue width.
+
+    Window size scales with width (the paper pairs 4-way/32 with
+    8-way/64, i.e. eight entries per issue slot), as do the machine's
+    fetch/dispatch/retire widths and functional units.  IPC gains
+    flatten while window-logic delay keeps growing -- the "brainiac"
+    half of the paper's introduction.
+    """
+    from repro.uarch.config import ClusterConfig, MachineConfig, SteeringPolicy
+
+    points = []
+    for width in issue_widths:
+        window_size = window_per_width * width
+        config = MachineConfig(
+            name=f"conventional-{width}way",
+            fetch_width=width,
+            dispatch_width=width,
+            issue_width=width,
+            retire_width=2 * width,
+            clusters=(ClusterConfig(window_size=window_size, fu_count=width),),
+            steering=SteeringPolicy.NONE,
+        )
+        mean_ipc = _mean_ipc(config, workloads, max_instructions)
+        clock = conventional_clock_ps(tech, width, window_size)
+        points.append(
+            FrontierPoint(
+                label=f"{width}-way/{window_size}",
+                window_size=window_size,
+                mean_ipc=mean_ipc,
+                clock_ps=clock,
+            )
+        )
+    return points
+
+
+def format_frontier(points: list[FrontierPoint]) -> str:
+    """Aligned text table of frontier points."""
+    lines = [
+        f"{'design':>20s}{'IPC':>8s}{'clock ps':>10s}{'GHz':>8s}{'BIPS':>8s}"
+    ]
+    for point in points:
+        lines.append(
+            f"{point.label:>20s}{point.mean_ipc:8.3f}{point.clock_ps:10.1f}"
+            f"{point.frequency_ghz:8.2f}{point.bips:8.2f}"
+        )
+    return "\n".join(lines)

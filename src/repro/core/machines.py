@@ -1,0 +1,180 @@
+"""Machine configurations for every design point in the paper.
+
+All machines share the Table 3 resources: 8-wide fetch/decode/issue,
+retire width 16, 128 in-flight instructions, 120 int + 120 fp physical
+registers, 8 symmetric single-cycle functional units, gshare, and the
+32 KB 2-way data cache.  They differ only in how the issue buffers are
+organised and how instructions are steered:
+
+=====================================  =====================================
+Machine                                 Paper design point
+=====================================  =====================================
+:func:`baseline_8way`                   Figure 13/15/17 baseline ("ideal"):
+                                        one 64-entry window, single-cycle
+                                        bypass everywhere.
+:func:`dependence_based_8way`           Figure 13: 8 FIFOs x 8 deep, one
+                                        cluster (all bypasses one cycle).
+:func:`clustered_dependence_8way`       Figures 15/17: 2 x 4-way clusters,
+                                        4 FIFOs each, 2-cycle inter-cluster
+                                        bypass.
+:func:`clustered_windows_8way`          Figure 17: two 32-entry windows,
+                                        dispatch-driven steering.
+:func:`clustered_exec_steer_8way`       Figure 17: central 64-entry window,
+                                        execution-driven steering.
+:func:`clustered_random_8way`           Figure 17: two 32-entry windows,
+                                        random steering.
+=====================================  =====================================
+"""
+
+from __future__ import annotations
+
+from repro.uarch.config import ClusterConfig, MachineConfig, SteeringPolicy
+
+
+def baseline_8way(window_size: int = 64, **overrides) -> MachineConfig:
+    """The conventional 8-way, 64-entry-window superscalar (Table 3).
+
+    This is also Figure 17's "1-cluster, 1 window" ideal machine:
+    single-cycle bypass between all functional units.
+    """
+    return MachineConfig(
+        name=f"baseline-8way-{window_size}w",
+        clusters=(ClusterConfig(window_size=window_size, fu_count=8),),
+        steering=SteeringPolicy.NONE,
+        **overrides,
+    )
+
+
+def dependence_based_8way(
+    fifo_count: int = 8, fifo_depth: int = 8, **overrides
+) -> MachineConfig:
+    """Figure 13's dependence-based machine: one cluster of FIFOs.
+
+    8 FIFOs of 8 entries, dispatch-driven steering (Section 5.1), all
+    bypasses single cycle -- isolating the effect of FIFO issue from
+    the effect of clustering.
+    """
+    return MachineConfig(
+        name=f"dependence-8way-{fifo_count}x{fifo_depth}",
+        clusters=(
+            ClusterConfig(fifo_count=fifo_count, fifo_depth=fifo_depth, fu_count=8),
+        ),
+        steering=SteeringPolicy.FIFO_DISPATCH,
+        **overrides,
+    )
+
+
+def clustered_dependence_8way(
+    fifos_per_cluster: int = 4,
+    fifo_depth: int = 8,
+    inter_cluster_bypass_cycles: int = 2,
+    **overrides,
+) -> MachineConfig:
+    """The 2 x 4-way clustered dependence-based machine (Section 5.4).
+
+    Two clusters of four FIFOs and four functional units each; local
+    bypasses take one cycle, inter-cluster bypasses two.
+    """
+    cluster = ClusterConfig(
+        fifo_count=fifos_per_cluster, fifo_depth=fifo_depth, fu_count=4
+    )
+    return MachineConfig(
+        name="2x4way-fifos-dispatch",
+        clusters=(cluster, cluster),
+        steering=SteeringPolicy.FIFO_DISPATCH,
+        inter_cluster_bypass_cycles=inter_cluster_bypass_cycles,
+        **overrides,
+    )
+
+
+def clustered_windows_8way(
+    window_size: int = 32, inter_cluster_bypass_cycles: int = 2, **overrides
+) -> MachineConfig:
+    """Two 32-entry windows with dispatch-driven steering (5.6.2).
+
+    The steering heuristic treats each window as eight conceptual
+    FIFOs of four slots, but instructions issue from any slot.
+    """
+    cluster = ClusterConfig(window_size=window_size, fu_count=4)
+    return MachineConfig(
+        name="2x4way-windows-dispatch",
+        clusters=(cluster, cluster),
+        steering=SteeringPolicy.WINDOW_DISPATCH,
+        inter_cluster_bypass_cycles=inter_cluster_bypass_cycles,
+        **overrides,
+    )
+
+
+def clustered_exec_steer_8way(
+    inter_cluster_bypass_cycles: int = 2, **overrides
+) -> MachineConfig:
+    """Central 64-entry window, execution-driven steering (5.6.1).
+
+    Instructions wait in one shared window and are assigned to the
+    cluster that provides their operands first, at issue time.
+    """
+    cluster = ClusterConfig(window_size=32, fu_count=4)
+    return MachineConfig(
+        name="2x4way-1window-exec",
+        clusters=(cluster, cluster),
+        steering=SteeringPolicy.EXEC_DRIVEN,
+        inter_cluster_bypass_cycles=inter_cluster_bypass_cycles,
+        **overrides,
+    )
+
+
+def clustered_random_8way(
+    window_size: int = 32, inter_cluster_bypass_cycles: int = 2, **overrides
+) -> MachineConfig:
+    """Two 32-entry windows with random steering (5.6.3 baseline)."""
+    cluster = ClusterConfig(window_size=window_size, fu_count=4)
+    return MachineConfig(
+        name="2x4way-windows-random",
+        clusters=(cluster, cluster),
+        steering=SteeringPolicy.RANDOM,
+        inter_cluster_bypass_cycles=inter_cluster_bypass_cycles,
+        **overrides,
+    )
+
+
+def clustered_modulo_8way(
+    window_size: int = 32, inter_cluster_bypass_cycles: int = 2, **overrides
+) -> MachineConfig:
+    """Ablation: round-robin (modulo) steering over two windows.
+
+    Dependence-blind like random steering but perfectly load balanced,
+    separating the two reasons random steering loses.
+    """
+    cluster = ClusterConfig(window_size=window_size, fu_count=4)
+    return MachineConfig(
+        name="2x4way-windows-modulo",
+        clusters=(cluster, cluster),
+        steering=SteeringPolicy.MODULO,
+        inter_cluster_bypass_cycles=inter_cluster_bypass_cycles,
+        **overrides,
+    )
+
+
+def clustered_least_loaded_8way(
+    window_size: int = 32, inter_cluster_bypass_cycles: int = 2, **overrides
+) -> MachineConfig:
+    """Ablation: emptiest-window steering over two windows."""
+    cluster = ClusterConfig(window_size=window_size, fu_count=4)
+    return MachineConfig(
+        name="2x4way-windows-least-loaded",
+        clusters=(cluster, cluster),
+        steering=SteeringPolicy.LEAST_LOADED,
+        inter_cluster_bypass_cycles=inter_cluster_bypass_cycles,
+        **overrides,
+    )
+
+
+def fig17_machines() -> dict[str, MachineConfig]:
+    """The five Figure 17 machines, keyed by the paper's legend."""
+    return {
+        "1-cluster.1window": baseline_8way(),
+        "2-cluster.FIFOs.dispatch_steer": clustered_dependence_8way(),
+        "2-cluster.windows.dispatch_steer": clustered_windows_8way(),
+        "2-cluster.1window.exec_steer": clustered_exec_steer_8way(),
+        "2-cluster.windows.random_steer": clustered_random_8way(),
+    }

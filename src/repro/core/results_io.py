@@ -1,0 +1,120 @@
+"""Persist experiment results as JSON.
+
+Long simulation campaigns are worth keeping: this module round-trips
+:class:`~repro.core.experiments.ExperimentResult` (including full
+per-run statistics) through plain JSON so results can be archived,
+diffed, and re-rendered without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.experiments import ExperimentResult
+from repro.uarch.stats import SimStats
+
+#: Format marker for forward compatibility.
+FORMAT_VERSION = 1
+
+_STAT_FIELDS = (
+    "machine",
+    "workload",
+    "committed",
+    "cycles",
+    "fetched",
+    "branch_lookups",
+    "branch_hits",
+    "mispredicts",
+    "cache_accesses",
+    "cache_misses",
+    "store_forwards",
+    "inter_cluster_bypasses",
+    "occupancy_sum",
+)
+
+
+def stats_to_dict(stats: SimStats) -> dict:
+    """Convert one run's statistics to JSON-ready primitives."""
+    payload = {field: getattr(stats, field) for field in _STAT_FIELDS}
+    payload["dispatch_stalls"] = dict(stats.dispatch_stalls)
+    # JSON object keys must be strings.
+    payload["issue_histogram"] = {
+        str(k): v for k, v in stats.issue_histogram.items()
+    }
+    return payload
+
+
+def stats_from_dict(payload: dict) -> SimStats:
+    """Inverse of :func:`stats_to_dict`."""
+    stats = SimStats(**{field: payload[field] for field in _STAT_FIELDS})
+    stats.dispatch_stalls = dict(payload.get("dispatch_stalls", {}))
+    stats.issue_histogram = {
+        int(k): v for k, v in payload.get("issue_histogram", {}).items()
+    }
+    return stats
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """Convert an experiment result to JSON-ready primitives."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": result.name,
+        "machine_names": list(result.machine_names),
+        "workloads": list(result.workloads),
+        "stats": {
+            machine: {
+                workload: stats_to_dict(stats)
+                for workload, stats in per_workload.items()
+            }
+            for machine, per_workload in result.stats.items()
+        },
+    }
+
+
+def result_from_dict(payload: dict) -> ExperimentResult:
+    """Inverse of :func:`result_to_dict`.
+
+    Raises:
+        ValueError: on a missing or unsupported format version.
+    """
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format {version!r} (expected {FORMAT_VERSION})"
+        )
+    result = ExperimentResult(
+        name=payload["name"],
+        machine_names=list(payload["machine_names"]),
+        workloads=list(payload["workloads"]),
+    )
+    result.stats = {
+        machine: {
+            workload: stats_from_dict(stats)
+            for workload, stats in per_workload.items()
+        }
+        for machine, per_workload in payload["stats"].items()
+    }
+    return result
+
+
+def save_result(result: ExperimentResult, path: str | Path) -> None:
+    """Write an experiment result to a JSON file."""
+    Path(path).write_text(
+        json.dumps(result_to_dict(result), indent=2, sort_keys=True),
+        encoding="utf-8",
+    )
+
+
+def load_result(path: str | Path) -> ExperimentResult:
+    """Read an experiment result from a JSON file.
+
+    Raises:
+        ValueError: for malformed or version-mismatched files.
+        OSError: if the file cannot be read.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path} is not valid JSON: {error}") from error
+    return result_from_dict(payload)

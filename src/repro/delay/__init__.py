@@ -1,0 +1,59 @@
+"""Delay models for the paper's critical pipeline structures (Section 4).
+
+Each model follows the functional form the paper derives for its
+structure and is calibrated against every numeric result the paper
+publishes (Tables 1, 2, and 4 plus the growth percentages quoted in the
+text).  All delays are in picoseconds; all models are deterministic and
+cheap to evaluate.
+
+Models:
+
+* :class:`RenameDelayModel` -- register rename (RAM-scheme map table).
+* :class:`WakeupDelayModel` -- issue-window wakeup (CAM tag broadcast).
+* :class:`SelectionDelayModel` -- arbiter-tree selection.
+* :class:`BypassDelayModel` -- operand bypass result wires.
+* :class:`ReservationTableDelayModel` -- the dependence-based design's
+  reservation table (Section 5.3).
+* :mod:`repro.delay.summary` -- Table 2 aggregation, critical paths,
+  and the Section 5.5 clock-ratio computation.
+"""
+
+from repro.delay.rename import RenameDelayModel
+from repro.delay.rename_cam import CamRenameDelayModel
+from repro.delay.wakeup import WakeupDelayModel
+from repro.delay.select import SelectionDelayModel
+from repro.delay.bypass import BypassDelayModel
+from repro.delay.reservation import ReservationTableDelayModel
+from repro.delay.regfile import RegisterFileDelayModel
+from repro.delay.cache_access import CacheAccessDelayModel
+from repro.delay.summary import (
+    DelaySummary,
+    clock_ratio_dependence_based,
+    max_clock_improvement_4way,
+    overall_delays,
+    window_logic_delay,
+)
+from repro.delay.pipelining import (
+    PipeliningPlan,
+    pipelining_plan,
+    stages_required,
+)
+
+__all__ = [
+    "RenameDelayModel",
+    "CamRenameDelayModel",
+    "RegisterFileDelayModel",
+    "CacheAccessDelayModel",
+    "WakeupDelayModel",
+    "SelectionDelayModel",
+    "BypassDelayModel",
+    "ReservationTableDelayModel",
+    "DelaySummary",
+    "overall_delays",
+    "window_logic_delay",
+    "clock_ratio_dependence_based",
+    "max_clock_improvement_4way",
+    "PipeliningPlan",
+    "pipelining_plan",
+    "stages_required",
+]

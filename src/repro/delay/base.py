@@ -1,0 +1,21 @@
+"""Shared validation helpers for delay models."""
+
+from __future__ import annotations
+
+
+def check_issue_width(issue_width: int) -> int:
+    """Validate an issue width (instructions issued/renamed per cycle)."""
+    if not isinstance(issue_width, int) or isinstance(issue_width, bool):
+        raise TypeError(f"issue width must be an int, got {type(issue_width).__name__}")
+    if issue_width < 1:
+        raise ValueError(f"issue width must be >= 1, got {issue_width}")
+    return issue_width
+
+
+def check_window_size(window_size: int) -> int:
+    """Validate an issue-window size (entries)."""
+    if not isinstance(window_size, int) or isinstance(window_size, bool):
+        raise TypeError(f"window size must be an int, got {type(window_size).__name__}")
+    if window_size < 1:
+        raise ValueError(f"window size must be >= 1, got {window_size}")
+    return window_size

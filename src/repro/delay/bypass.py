@@ -1,0 +1,62 @@
+"""Operand bypass delay model (Section 4.4, Table 1).
+
+The bypass delay is dominated by driving result values down result
+wires that span the functional-unit stack.  Treating the result wire as
+a distributed RC line::
+
+    T = 0.5 * Rmetal * Cmetal * L**2
+
+where ``L`` grows with issue width both because there are more
+functional units to span and because each functional unit grows taller
+with the number of result-wire tracks routed through it.  The delay is
+therefore quadratic-and-worse in issue width, and -- because wire delay
+is constant under the paper's scaling model -- identical across the
+three technologies (Table 1).
+
+This model is exact (closed form) rather than fitted: the track
+constants in :mod:`repro.circuits.datapath` reproduce Table 1's wire
+lengths, and the RC product in :mod:`repro.technology.params` is derived
+from Table 1's 4-way row.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.datapath import BypassDatapath
+from repro.delay.base import check_issue_width
+from repro.technology.params import Technology
+from repro.technology.wires import distributed_rc_delay_ps
+
+
+class BypassDelayModel:
+    """Bypass (result-wire) delay as a function of issue width.
+
+    Example:
+        >>> from repro.technology import TECH_018
+        >>> model = BypassDelayModel(TECH_018)
+        >>> round(model.total(4), 1)
+        184.9
+        >>> round(model.total(8), 1)
+        1056.4
+    """
+
+    def __init__(self, tech: Technology, pipe_stages_after_result: int = 1):
+        self.tech = tech
+        self.pipe_stages_after_result = pipe_stages_after_result
+
+    def datapath(self, issue_width: int) -> BypassDatapath:
+        """The bypass datapath geometry for the given issue width."""
+        check_issue_width(issue_width)
+        return BypassDatapath(issue_width, self.pipe_stages_after_result)
+
+    def wire_length_lambda(self, issue_width: int) -> float:
+        """Result-wire length in lambda (Table 1's middle column)."""
+        return self.datapath(issue_width).result_wire_length_lambda
+
+    def total(self, issue_width: int) -> float:
+        """Bypass delay in picoseconds (technology-invariant)."""
+        length = self.wire_length_lambda(issue_width)
+        return distributed_rc_delay_ps(self.tech, length)
+
+    def path_count(self, issue_width: int) -> int:
+        """Bypass paths in a fully bypassed design (2 * IW**2 * S)."""
+        return self.datapath(issue_width).path_count

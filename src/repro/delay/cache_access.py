@@ -1,0 +1,101 @@
+"""Cache access-time model (Section 2.1's cited structure).
+
+The paper excludes caches from its own delay analysis because Wada et
+al. and Wilton & Jouppi published dedicated access-time models; it
+only relies on the qualitative facts that cache delay grows with size
+and associativity and that -- unlike window logic -- cache access *can
+be pipelined*.  This model provides the same first-order behaviour in
+the repository's framework: a folded data array (multi-ported RAM
+geometry, so the same fitted constants as the rename path apply), a
+tag array with comparators, and an associativity-wide output mux.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.ram import RamGeometry
+from repro.delay.calibration import rename_coefficients
+from repro.technology.gates import GateLibrary
+from repro.technology.params import Technology
+from repro.uarch.config import CacheConfig
+
+
+class CacheAccessDelayModel:
+    """First-order cache access time vs. size, associativity, ports.
+
+    Example:
+        >>> from repro.technology import TECH_018
+        >>> model = CacheAccessDelayModel(TECH_018)
+        >>> small = model.total(CacheConfig(size_bytes=8 * 1024))
+        >>> large = model.total(CacheConfig(size_bytes=64 * 1024))
+        >>> small < large
+        True
+    """
+
+    def __init__(self, tech: Technology):
+        self.tech = tech
+        self._gates = GateLibrary(tech)
+        self._coefficients = rename_coefficients(tech)
+
+    @staticmethod
+    def data_array_geometry(config: CacheConfig, ports: int = 1) -> RamGeometry:
+        """Folded data-array geometry: rows x (line x assoc) bits,
+        folded toward square to keep wordlines and bitlines balanced."""
+        rows = config.sets
+        bits = 8 * config.line_bytes * config.associativity
+        # Fold: move row-address bits into the column mux until the
+        # array is within 4:1 aspect ratio.
+        while rows > 4 * bits and rows % 2 == 0:
+            rows //= 2
+            bits *= 2
+        while bits > 4 * rows:
+            bits //= 2
+            rows *= 2
+        return RamGeometry(
+            rows=max(2, rows), bits=max(1, bits), read_ports=ports, write_ports=1
+        )
+
+    def total(self, config: CacheConfig, ports: int = 1) -> float:
+        """Cache access delay in picoseconds."""
+        if ports < 1:
+            raise ValueError(f"ports must be >= 1, got {ports}")
+        geometry = self.data_array_geometry(config, ports)
+        # Reuse the register-file scaling machinery by treating the
+        # folded data array as a RAM of `rows` entries of `bits` bits.
+        array_delay = self._scaled_array_delay(geometry)
+        # Tag compare: a ~20-bit comparator (two-level) plus the
+        # associativity-wide select mux.
+        compare_delay = self._gates.chain_delay_ps(["nand4", "nor4", "inv"])
+        mux_stages = max(1, math.ceil(math.log2(max(2, config.associativity))))
+        mux_delay = mux_stages * self._gates.gate_delay_ps("nand2")
+        return array_delay + compare_delay + mux_delay
+
+    def _scaled_array_delay(self, geometry: RamGeometry) -> float:
+        reference = RamGeometry(rows=32, bits=7, read_ports=8, write_ports=4)
+        coefficients = self._coefficients
+        reference_total = coefficients.evaluate(4)
+        decode_scale = geometry.decoder_fanin / reference.decoder_fanin
+        wordline_scale = (
+            geometry.wordline_length_lambda / reference.wordline_length_lambda
+        )
+        bitline_scale = geometry.bitline_length_lambda / reference.bitline_length_lambda
+        # Long cache wordlines/bitlines are hierarchical in practice:
+        # take the square root of the raw ratios beyond the reference
+        # (global + local segment), which keeps growth sub-linear as
+        # the published models show.
+        wordline_scale = math.sqrt(wordline_scale)
+        bitline_scale = math.sqrt(bitline_scale)
+        shares = {"decoder": 0.28, "wordline": 0.12, "bitline": 0.36, "senseamp": 0.24}
+        return reference_total * (
+            shares["decoder"] * decode_scale
+            + shares["wordline"] * wordline_scale
+            + shares["bitline"] * bitline_scale
+            + shares["senseamp"] * math.sqrt(bitline_scale)
+        )
+
+    def is_pipelinable(self) -> bool:
+        """Caches, unlike wakeup+select and bypass, can be pipelined
+        (Section 6): dependent instructions do not need a cache result
+        in the very next cycle unless they chain through memory."""
+        return True

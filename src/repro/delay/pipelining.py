@@ -1,0 +1,110 @@
+"""Pipelining requirements at a target clock (Section 4.5 / 5.3).
+
+The paper's position: window logic and bypasses *cannot* be pipelined
+without losing back-to-back execution of dependent instructions, but
+everything else (rename, register file, caches) can -- at the cost of
+deeper pipelines ("this may require that other stages not studied
+here be more deeply pipelined", Section 5.3).  This module quantifies
+that cost: given a structure's delay and a target clock period, how
+many pipeline stages does the structure need?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.delay.cache_access import CacheAccessDelayModel
+from repro.delay.regfile import RegisterFileDelayModel
+from repro.delay.rename import RenameDelayModel
+from repro.delay.summary import dependence_based_window_logic, window_logic_delay
+from repro.technology.params import Technology
+from repro.uarch.config import CacheConfig
+
+#: Per-stage overhead (latch setup + clock skew) as a fraction of the
+#: clock period; the usable compute time per stage is (1 - overhead).
+STAGE_OVERHEAD_FRACTION = 0.10
+
+
+def stages_required(delay_ps: float, clock_ps: float) -> int:
+    """Pipeline stages needed to fit ``delay_ps`` at ``clock_ps``.
+
+    Each stage loses :data:`STAGE_OVERHEAD_FRACTION` of the period to
+    latch overhead.
+
+    Raises:
+        ValueError: for non-positive delays or clock periods.
+    """
+    if delay_ps <= 0:
+        raise ValueError(f"delay must be positive, got {delay_ps}")
+    if clock_ps <= 0:
+        raise ValueError(f"clock period must be positive, got {clock_ps}")
+    usable = clock_ps * (1.0 - STAGE_OVERHEAD_FRACTION)
+    return max(1, math.ceil(delay_ps / usable))
+
+
+@dataclass(frozen=True)
+class PipeliningPlan:
+    """Stage counts for the pipelineable structures at a target clock."""
+
+    tech: Technology
+    clock_ps: float
+    rename_stages: int
+    regfile_stages: int
+    cache_stages: int
+
+    def format_report(self) -> str:
+        return "\n".join(
+            [
+                f"target clock {self.clock_ps:.1f} ps ({self.tech.name}):",
+                f"  rename        {self.rename_stages} stage(s)",
+                f"  register file {self.regfile_stages} stage(s)",
+                f"  data cache    {self.cache_stages} stage(s)",
+            ]
+        )
+
+
+def pipelining_plan(
+    tech: Technology,
+    clock_ps: float,
+    issue_width: int = 8,
+    physical_registers: int = 120,
+    cache: CacheConfig | None = None,
+) -> PipeliningPlan:
+    """How deeply each pipelineable structure must be staged to run at
+    ``clock_ps`` -- e.g. at the dependence-based machine's faster
+    clock."""
+    rename = RenameDelayModel(tech).total(issue_width)
+    regfile = RegisterFileDelayModel(tech).machine_total(
+        physical_registers, issue_width
+    )
+    cache_delay = CacheAccessDelayModel(tech).total(cache or CacheConfig())
+    return PipeliningPlan(
+        tech=tech,
+        clock_ps=clock_ps,
+        rename_stages=stages_required(rename, clock_ps),
+        regfile_stages=stages_required(regfile, clock_ps),
+        cache_stages=stages_required(cache_delay, clock_ps),
+    )
+
+
+def dependence_based_plan(
+    tech: Technology,
+    issue_width: int = 8,
+    physical_registers: int = 128,
+    fifo_count: int = 8,
+) -> PipeliningPlan:
+    """The Section 5.3 scenario: clock the machine at its (small)
+    window-logic delay and pipeline everything else to keep up."""
+    clock = dependence_based_window_logic(
+        tech, issue_width, physical_registers, fifo_count
+    )
+    return pipelining_plan(tech, clock, issue_width=issue_width)
+
+
+def conventional_plan(
+    tech: Technology, issue_width: int = 8, window_size: int = 64
+) -> PipeliningPlan:
+    """The conventional machine at its window-logic-bound clock."""
+    clock = window_logic_delay(tech, issue_width, window_size)
+    return pipelining_plan(tech, clock, issue_width=issue_width)

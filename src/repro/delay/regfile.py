@@ -1,0 +1,121 @@
+"""Register-file access-time model.
+
+The paper excludes the register file from its own analysis (Section
+2.1) because Farkas, Jouppi, and Chow studied it separately -- but its
+port scaling matters to the proposal: the clustered dependence-based
+microarchitecture keeps **one register-file copy per cluster**, so
+each copy needs only its own cluster's read ports, "making the access
+time of the register file faster" (Section 5.4).
+
+The model reuses the multi-ported-RAM geometry of the rename map
+table (the same circuit family) and scales the rename model's fitted
+per-technology delays by the geometry ratios: wordlines lengthen with
+the per-bit port tracks, bitlines with the register count, and the
+decoder with the address width.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.ram import RamGeometry
+from repro.delay.base import check_issue_width
+from repro.delay.calibration import rename_coefficients
+from repro.delay.rename import _BASE_SHARES, _LINEAR_SHARES
+from repro.technology.params import Technology
+
+#: Datapath width of a register-file entry in bits.
+DATA_BITS = 64
+
+
+class RegisterFileDelayModel:
+    """Register-file access delay vs. size and port count.
+
+    Example:
+        >>> from repro.technology import TECH_018
+        >>> model = RegisterFileDelayModel(TECH_018)
+        >>> shared = model.total(120, read_ports=16, write_ports=8)
+        >>> per_cluster = model.total(120, read_ports=8, write_ports=8)
+        >>> per_cluster < shared   # Section 5.4's third advantage
+        True
+    """
+
+    def __init__(self, tech: Technology):
+        self.tech = tech
+        self._coefficients = rename_coefficients(tech)
+
+    @staticmethod
+    def geometry(registers: int, read_ports: int, write_ports: int) -> RamGeometry:
+        """Register-file array geometry."""
+        return RamGeometry(
+            rows=registers,
+            bits=DATA_BITS,
+            read_ports=read_ports,
+            write_ports=write_ports,
+        )
+
+    def _reference_geometry(self) -> RamGeometry:
+        """The rename map table the fitted constants describe (4-wide)."""
+        return RamGeometry(rows=32, bits=7, read_ports=8, write_ports=4)
+
+    def total(self, registers: int, read_ports: int, write_ports: int) -> float:
+        """Access delay in picoseconds.
+
+        Args:
+            registers: Physical registers in this copy.
+            read_ports: Read ports on this copy.
+            write_ports: Write ports on this copy (with clustered
+                copies, results are broadcast, so writes do not drop).
+        """
+        if registers < 2:
+            raise ValueError(f"registers must be >= 2, got {registers}")
+        if read_ports < 1 or write_ports < 1:
+            raise ValueError("port counts must be >= 1")
+        geometry = self.geometry(registers, read_ports, write_ports)
+        reference = self._reference_geometry()
+        coefficients = self._coefficients
+        # Stage delays of the reference geometry, from the fitted
+        # rename model (they sum to its total by construction, so the
+        # reference geometry reproduces the fitted delay exactly).
+        parts = {
+            name: _BASE_SHARES[name] * coefficients.c0
+            + _LINEAR_SHARES[name] * coefficients.c1 * 4
+            for name in _BASE_SHARES
+        }
+        parts["bitline"] += coefficients.c2 * 16
+        # Scale each stage by its geometric driver.
+        decode_scale = geometry.decoder_fanin / reference.decoder_fanin
+        wordline_scale = geometry.wordline_length_lambda / reference.wordline_length_lambda
+        bitline_scale = geometry.bitline_length_lambda / reference.bitline_length_lambda
+        sense_scale = math.sqrt(bitline_scale)  # tracks bitline slew
+        return (
+            parts["decoder"] * decode_scale
+            + parts["wordline"] * wordline_scale
+            + parts["bitline"] * bitline_scale
+            + parts["senseamp"] * sense_scale
+        )
+
+    def machine_total(self, registers: int, issue_width: int) -> float:
+        """Delay of a monolithic register file for an ``issue_width``
+        machine: 2 reads + 1 write per issued instruction."""
+        check_issue_width(issue_width)
+        return self.total(registers, read_ports=2 * issue_width, write_ports=issue_width)
+
+    def clustered_total(
+        self, registers: int, issue_width: int, clusters: int
+    ) -> float:
+        """Delay of one per-cluster copy (Section 5.4).
+
+        Each copy serves only its cluster's read ports but receives
+        every cluster's writes (results are broadcast to all copies,
+        as in the 21264).
+        """
+        check_issue_width(issue_width)
+        if clusters < 1:
+            raise ValueError(f"clusters must be >= 1, got {clusters}")
+        per_cluster_issue = math.ceil(issue_width / clusters)
+        return self.total(
+            registers,
+            read_ports=2 * per_cluster_issue,
+            write_ports=issue_width,
+        )

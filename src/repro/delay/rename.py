@@ -1,0 +1,85 @@
+"""Register rename delay model (Section 4.1, Figure 3).
+
+The RAM-scheme map table operates like a standard RAM: address decoders
+drive wordlines, an access stack pulls a bitline low, and a sense
+amplifier produces the output.  Issue width affects delay through wire
+lengths: more ports make every cell bigger, lengthening the predecode,
+wordline, and bitline wires.  Each component is ``c0 + c1*IW + c2*IW**2``
+with a small quadratic term, so the total is effectively linear in
+issue width (the paper's conclusion).
+
+The dependence-check logic runs in parallel with the map-table access
+and is hidden behind it for issue widths up to 8 (Section 4.1.1), so it
+does not appear in the delay.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.ram import RamGeometry, rename_map_table_geometry
+from repro.delay.base import check_issue_width
+from repro.delay.calibration import rename_coefficients
+from repro.technology.params import Technology
+
+#: How the fitted constant term divides among the pipeline of RAM access
+#: stages (representative of the breakdown in Figure 3 at 4-wide).
+_BASE_SHARES = {"decoder": 0.28, "wordline": 0.12, "bitline": 0.36, "senseamp": 0.24}
+#: How the fitted linear (per-issue-width) term divides; the bitline
+#: takes the largest share because bitlines are longer than wordlines
+#: (32 logical registers vs. an 8-bit designator), so per-port growth
+#: costs more there -- this is why Figure 3's bitline component grows
+#: fastest with issue width.
+_LINEAR_SHARES = {"decoder": 0.15, "wordline": 0.20, "bitline": 0.45, "senseamp": 0.20}
+
+#: Component evaluation order (RAM access pipeline order).
+COMPONENTS = ("decoder", "wordline", "bitline", "senseamp")
+
+
+class RenameDelayModel:
+    """Rename (map-table access) delay as a function of issue width.
+
+    Example:
+        >>> from repro.technology import TECH_018
+        >>> model = RenameDelayModel(TECH_018)
+        >>> round(model.total(4), 1)
+        351.0
+    """
+
+    def __init__(
+        self,
+        tech: Technology,
+        logical_registers: int = 32,
+        physical_registers: int = 120,
+    ):
+        self.tech = tech
+        self.logical_registers = logical_registers
+        self.physical_registers = physical_registers
+        self._coefficients = rename_coefficients(tech)
+
+    def geometry(self, issue_width: int) -> RamGeometry:
+        """Map-table geometry at the given issue width."""
+        check_issue_width(issue_width)
+        return rename_map_table_geometry(
+            issue_width,
+            logical_registers=self.logical_registers,
+            physical_registers=self.physical_registers,
+        )
+
+    def total(self, issue_width: int) -> float:
+        """Total rename delay in picoseconds."""
+        check_issue_width(issue_width)
+        return self._coefficients.evaluate(issue_width)
+
+    def components(self, issue_width: int) -> dict[str, float]:
+        """Per-stage breakdown: decoder, wordline, bitline, senseamp.
+
+        The components sum exactly to :meth:`total`.
+        """
+        check_issue_width(issue_width)
+        c = self._coefficients
+        breakdown = {}
+        for name in COMPONENTS:
+            value = _BASE_SHARES[name] * c.c0 + _LINEAR_SHARES[name] * c.c1 * issue_width
+            if name == "bitline":
+                value += c.c2 * issue_width**2
+            breakdown[name] = value
+        return breakdown

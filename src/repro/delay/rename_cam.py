@@ -1,0 +1,88 @@
+"""CAM-scheme register rename delay model (Section 4.1.1).
+
+The paper describes two rename organisations: the RAM scheme (map
+table indexed by logical register, as in the R10000) and the CAM
+scheme (one entry per *physical* register matched on the logical
+designator, as in the HAL SPARC and the 21264).  It notes that
+
+* for the design space studied, the two perform comparably, and
+* the CAM scheme is **less scalable**, because its entry count equals
+  the physical register count, which grows with issue width.
+
+This model captures both statements.  Structurally the CAM rename is
+the same circuit family as the wakeup array (broadcast a designator
+down tag lines spanning all entries, match, then read out the
+matching entry), so it reuses the wakeup functional form with the
+physical register count as the "window", normalised to equal the RAM
+scheme's delay at the paper's 4-wide/80-register design point.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.cam import CamGeometry
+from repro.delay.base import check_issue_width
+from repro.delay.calibration import wakeup_coefficients
+from repro.delay.rename import RenameDelayModel
+from repro.technology.params import Technology
+
+#: Normalisation design point: the paper found RAM and CAM comparable
+#: for the design space it explored, anchored here at a 4-wide machine
+#: with 80 physical registers.
+_ANCHOR_ISSUE_WIDTH = 4
+_ANCHOR_PHYSICAL_REGISTERS = 80
+
+
+class CamRenameDelayModel:
+    """Rename delay under the CAM scheme.
+
+    Example:
+        >>> from repro.technology import TECH_018
+        >>> cam = CamRenameDelayModel(TECH_018)
+        >>> ram = RenameDelayModel(TECH_018)
+        >>> abs(cam.total(4, 80) - ram.total(4)) < 1e-6   # comparable
+        True
+        >>> cam.total(8, 256) > cam.total(8, 128)         # less scalable
+        True
+    """
+
+    #: The rename CAM loads each tag line with one comparator per
+    #: entry (a single logical-designator match) where the wakeup
+    #: array hangs two operand comparators per broadcast tag, so the
+    #: wire-quadratic term is damped by this factor.
+    _QUADRATIC_DAMPING = 0.25
+
+    def __init__(self, tech: Technology):
+        self.tech = tech
+        self._wakeup = wakeup_coefficients(tech)
+        anchor_shape = self._shape(_ANCHOR_ISSUE_WIDTH, _ANCHOR_PHYSICAL_REGISTERS)
+        anchor_ram = RenameDelayModel(tech).total(_ANCHOR_ISSUE_WIDTH)
+        self._scale = anchor_ram / anchor_shape
+
+    def _shape(self, issue_width: int, physical_registers: int) -> float:
+        c = self._wakeup
+        linear = c.base(issue_width) + (c.c3 + c.c4 * issue_width) * physical_registers
+        quadratic = c.c5 * issue_width**2 * physical_registers**2
+        return linear + self._QUADRATIC_DAMPING * quadratic
+
+    def geometry(self, issue_width: int, physical_registers: int) -> CamGeometry:
+        """CAM array geometry: one entry per physical register."""
+        check_issue_width(issue_width)
+        if physical_registers < 2:
+            raise ValueError(
+                f"physical registers must be >= 2, got {physical_registers}"
+            )
+        # Matched on the 5-bit logical designator plus a valid bit.
+        return CamGeometry(
+            window_size=physical_registers, issue_width=issue_width, tag_bits=6
+        )
+
+    def total(self, issue_width: int, physical_registers: int) -> float:
+        """CAM rename delay in picoseconds."""
+        self.geometry(issue_width, physical_registers)  # validates
+        return self._scale * self._shape(issue_width, physical_registers)
+
+    def advantage_of_ram(self, issue_width: int, physical_registers: int) -> float:
+        """RAM-scheme delay minus CAM-scheme delay (negative when the
+        RAM scheme is faster, i.e. for large register files)."""
+        ram = RenameDelayModel(self.tech).total(issue_width)
+        return ram - self.total(issue_width, physical_registers)

@@ -1,0 +1,58 @@
+"""Reservation-table delay model (Section 5.3, Table 4).
+
+In the dependence-based microarchitecture only the instructions at the
+FIFO heads need to be woken, and they do so by interrogating a small
+reservation table holding one bit per physical register (set while the
+register awaits its value).  The table is tiny compared with the rename
+table -- e.g. for a 4-way machine with 80 physical registers it is a
+10-entry x 8-bit RAM -- so its access delay is far below the delay of a
+CAM-based issue window, which is the source of the design's clock-speed
+advantage.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.delay.base import check_issue_width
+from repro.delay.calibration import reservation_coefficients
+from repro.technology.params import Technology
+
+#: Bits stored per table entry (a column mux picks the addressed bit),
+#: matching the paper's 10x8 / 16x8 organisations.
+BITS_PER_ENTRY = 8
+
+
+class ReservationTableDelayModel:
+    """Reservation-table access delay.
+
+    Table 4 gives 0.18 um numbers; other technologies scale by the
+    technology's logic-speed factor (the table is a small RAM, the same
+    circuit family as the rename table).
+
+    Example:
+        >>> from repro.technology import TECH_018
+        >>> model = ReservationTableDelayModel(TECH_018)
+        >>> round(model.total(4, physical_registers=80), 1)
+        192.1
+    """
+
+    def __init__(self, tech: Technology):
+        self.tech = tech
+        self._coefficients = reservation_coefficients()
+
+    @staticmethod
+    def entries(physical_registers: int) -> int:
+        """Number of table entries for a register-file size."""
+        if physical_registers < 1:
+            raise ValueError(
+                f"physical register count must be >= 1, got {physical_registers}"
+            )
+        return math.ceil(physical_registers / BITS_PER_ENTRY)
+
+    def total(self, issue_width: int, physical_registers: int) -> float:
+        """Reservation-table access delay in picoseconds."""
+        check_issue_width(issue_width)
+        entries = self.entries(physical_registers)
+        at_018 = self._coefficients.evaluate(entries, issue_width)
+        return self.tech.scale_logic_delay(at_018)

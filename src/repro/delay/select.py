@@ -1,0 +1,63 @@
+"""Selection-logic delay model (Section 4.3, Figure 8).
+
+Selection is a tree of 4-input arbiter cells: requests propagate to the
+root, the root grants one, and the grant propagates back down.  The
+delay is therefore::
+
+    T = (t_request + t_grant) * ceil(log4(window)) + t_root
+
+The root-cell delay is independent of window size, which is why doubling
+the window grows the delay by well under 2x (and not at all when the
+tree depth does not change, e.g. 32 -> 64 entries).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.arbiter import ArbiterTree, selection_tree
+from repro.delay.base import check_window_size
+from repro.delay.calibration import selection_coefficients
+from repro.technology.params import Technology
+
+#: Component evaluation order.
+COMPONENTS = ("request_propagation", "root", "grant_propagation")
+
+
+class SelectionDelayModel:
+    """Selection delay as a function of window size.
+
+    The model assumes a single functional unit is being scheduled, as in
+    Figure 8; scheduling multiple units replicates the tree and does not
+    change the critical path through one tree.
+
+    Example:
+        >>> from repro.technology import TECH_018
+        >>> model = SelectionDelayModel(TECH_018)
+        >>> model.total(32) == model.total(64)  # same tree depth
+        True
+    """
+
+    def __init__(self, tech: Technology):
+        self.tech = tech
+        self._coefficients = selection_coefficients(tech)
+
+    def tree(self, window_size: int) -> ArbiterTree:
+        """The arbiter tree for the given window size."""
+        check_window_size(window_size)
+        return selection_tree(window_size)
+
+    def total(self, window_size: int) -> float:
+        """Total selection delay in picoseconds."""
+        parts = self.components(window_size)
+        return sum(parts.values())
+
+    def components(self, window_size: int) -> dict[str, float]:
+        """Breakdown into request propagation, root cell, and grant
+        propagation.  The components sum exactly to :meth:`total`."""
+        check_window_size(window_size)
+        levels = self.tree(window_size).levels
+        c = self._coefficients
+        return {
+            "request_propagation": c.request_per_level * levels,
+            "root": c.root,
+            "grant_propagation": c.grant_per_level * levels,
+        }

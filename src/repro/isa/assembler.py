@@ -1,0 +1,309 @@
+"""Two-pass text assembler.
+
+Accepts MIPS-style assembly with ``.text``/``.data`` sections, labels,
+and the data directives ``.word``, ``.byte``, ``.space``, ``.asciiz``,
+and ``.align``.  Register operands may be written ``r4``, ``$4``,
+``f2``, ``$f2``, or with the usual MIPS symbolic names (``$t0``,
+``$sp``, ...).  Comments start with ``#`` or ``;``.
+
+Example::
+
+    program = assemble('''
+            .data
+    table:  .word 3, 1, 4, 1, 5
+            .text
+    main:   li    r1, 0          # sum
+            li    r2, 0          # index
+            la    r3, table
+    loop:   sll   r4, r2, 2
+            addu  r4, r4, r3
+            lw    r5, 0(r4)
+            addu  r1, r1, r5
+            addiu r2, r2, 1
+            blt   r2, r6, loop
+            halt
+    ''')
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import (
+    FP_REG_BASE,
+    Instruction,
+    OPCODES,
+)
+
+#: Base address of the data segment.
+DATA_BASE = 0x1000_0000
+#: Base address of the stack (grows down); programs may use it freely.
+STACK_BASE = 0x7FFF_F000
+
+_MIPS_ALIASES = {
+    "zero": 0, "at": 1, "v0": 2, "v1": 3,
+    "a0": 4, "a1": 5, "a2": 6, "a3": 7,
+    "t0": 8, "t1": 9, "t2": 10, "t3": 11, "t4": 12, "t5": 13, "t6": 14, "t7": 15,
+    "s0": 16, "s1": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+    "t8": 24, "t9": 25, "k0": 26, "k1": 27,
+    "gp": 28, "sp": 29, "fp": 30, "ra": 31,
+}
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.$]*$")
+_ADDR_RE = re.compile(r"^(?P<offset>[^()]*)\((?P<base>[^()]+)\)$")
+
+
+class AssemblerError(ValueError):
+    """Raised for any syntax or semantic error, with line context."""
+
+
+@dataclass
+class Program:
+    """An assembled program.
+
+    Attributes:
+        instructions: The text segment, in order.
+        labels: Text labels -> instruction index.
+        data_labels: Data labels -> byte address.
+        data_image: Initialised data bytes, keyed by address.
+        entry_point: Index of the first instruction to execute
+            (``main`` if defined, else 0).
+        source_lines: Source line number of each instruction (for
+            error reporting and disassembly).
+    """
+
+    instructions: list[Instruction] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    data_labels: dict[str, int] = field(default_factory=dict)
+    data_image: dict[int, int] = field(default_factory=dict)
+    entry_point: int = 0
+    source_lines: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def disassemble(self) -> str:
+        """Human-readable listing of the text segment."""
+        by_index = {}
+        for name, index in self.labels.items():
+            by_index.setdefault(index, []).append(name)
+        lines = []
+        for index, inst in enumerate(self.instructions):
+            for name in by_index.get(index, []):
+                lines.append(f"{name}:")
+            lines.append(f"  {index:5d}  {inst}")
+        return "\n".join(lines)
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _parse_register(token: str, line_no: int) -> int:
+    text = token.strip().lower()
+    if text.startswith("$"):
+        text = text[1:]
+    if text in _MIPS_ALIASES:
+        return _MIPS_ALIASES[text]
+    match = re.fullmatch(r"([rf]?)(\d+)", text)
+    if not match:
+        raise AssemblerError(f"line {line_no}: bad register {token!r}")
+    kind, number = match.group(1), int(match.group(2))
+    if number > 31:
+        raise AssemblerError(f"line {line_no}: register number {number} out of range")
+    if kind == "f":
+        return FP_REG_BASE + number
+    return number
+
+
+def _parse_immediate(token: str, program: "Program", line_no: int) -> int:
+    text = token.strip()
+    # Data labels resolve to byte addresses; text labels resolve to
+    # instruction indices (usable in jump tables, see the emulator).
+    if text in program.data_labels:
+        return program.data_labels[text]
+    if text in program.labels:
+        return program.labels[text]
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(f"line {line_no}: bad immediate {token!r}") from None
+
+
+def _split_operands(text: str) -> list[str]:
+    if not text:
+        return []
+    return [part.strip() for part in text.split(",")]
+
+
+def _tokenize(source: str):
+    """Yield (line_no, label_or_None, opcode_or_directive, operand_text)."""
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        label = None
+        if ":" in line:
+            head, _colon, rest = line.partition(":")
+            head = head.strip()
+            if _LABEL_RE.match(head):
+                label = head
+                line = rest.strip()
+        if not line:
+            yield line_no, label, None, ""
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1].strip() if len(parts) > 1 else ""
+        yield line_no, label, mnemonic, operand_text
+
+
+def _encode_data(directive, operand_text, address, image, line_no):
+    """Apply one data directive; returns the next free address."""
+    if directive == ".word":
+        for token in _split_operands(operand_text):
+            value = int(token, 0) & 0xFFFFFFFF
+            for i in range(4):
+                image[address + i] = (value >> (8 * i)) & 0xFF
+            address += 4
+    elif directive == ".byte":
+        for token in _split_operands(operand_text):
+            image[address] = int(token, 0) & 0xFF
+            address += 1
+    elif directive == ".space":
+        count = int(operand_text, 0)
+        if count < 0:
+            raise AssemblerError(f"line {line_no}: negative .space")
+        address += count
+    elif directive == ".asciiz":
+        text = operand_text.strip()
+        if not (text.startswith('"') and text.endswith('"')):
+            raise AssemblerError(f"line {line_no}: .asciiz needs a quoted string")
+        data = text[1:-1].encode("utf-8").decode("unicode_escape").encode("latin-1")
+        for byte in data:
+            image[address] = byte
+            address += 1
+        image[address] = 0
+        address += 1
+    elif directive == ".align":
+        alignment = 1 << int(operand_text, 0)
+        address = (address + alignment - 1) & ~(alignment - 1)
+    else:
+        raise AssemblerError(f"line {line_no}: unknown directive {directive}")
+    return address
+
+
+def assemble(source: str) -> Program:
+    """Assemble source text into a :class:`Program`.
+
+    Raises:
+        AssemblerError: on any syntax error, unknown opcode or label,
+            or malformed operand, with the offending line number.
+    """
+    program = Program()
+    # ---- pass 1: sizes and label addresses --------------------------------
+    section = ".text"
+    text_index = 0
+    data_address = DATA_BASE
+    for line_no, label, mnemonic, operand_text in _tokenize(source):
+        if mnemonic in (".text", ".data"):
+            section = mnemonic
+            if label:
+                raise AssemblerError(f"line {line_no}: label on section directive")
+            continue
+        if label:
+            if label in program.labels or label in program.data_labels:
+                raise AssemblerError(f"line {line_no}: duplicate label {label!r}")
+            if section == ".text":
+                program.labels[label] = text_index
+            else:
+                program.data_labels[label] = data_address
+        if mnemonic is None:
+            continue
+        if mnemonic.startswith("."):
+            if section != ".data":
+                raise AssemblerError(f"line {line_no}: {mnemonic} outside .data")
+            data_address = _encode_data(
+                mnemonic, operand_text, data_address, program.data_image, line_no
+            )
+        else:
+            if section != ".text":
+                raise AssemblerError(f"line {line_no}: instruction in .data section")
+            text_index += 1
+
+    # ---- pass 2: encode instructions --------------------------------------
+    section = ".text"
+    for line_no, _label, mnemonic, operand_text in _tokenize(source):
+        if mnemonic in (".text", ".data"):
+            section = mnemonic
+            continue
+        if mnemonic is None or mnemonic.startswith("."):
+            continue
+        if section != ".text":
+            continue
+        program.instructions.append(
+            _encode_instruction(mnemonic, operand_text, program, line_no)
+        )
+        program.source_lines.append(line_no)
+
+    program.entry_point = program.labels.get("main", 0)
+    return program
+
+
+def _encode_instruction(mnemonic, operand_text, program, line_no):
+    operands = _split_operands(operand_text)
+    if mnemonic == "la":
+        # Pseudo: load address of a data label.
+        if len(operands) != 2:
+            raise AssemblerError(f"line {line_no}: la needs 2 operands")
+        dest = _parse_register(operands[0], line_no)
+        if operands[1] not in program.data_labels:
+            raise AssemblerError(f"line {line_no}: unknown data label {operands[1]!r}")
+        return Instruction(
+            opcode="li", dest=dest, imm=program.data_labels[operands[1]]
+        )
+    info = OPCODES.get(mnemonic)
+    if info is None:
+        raise AssemblerError(f"line {line_no}: unknown opcode {mnemonic!r}")
+    shape = info.operands
+    if len(operands) != len(shape):
+        raise AssemblerError(
+            f"line {line_no}: {mnemonic} expects {len(shape)} operands, "
+            f"got {len(operands)}"
+        )
+    dest = None
+    srcs: list[int] = []
+    imm = None
+    target = None
+    label = None
+    for code, token in zip(shape, operands):
+        if code == "d":
+            dest = _parse_register(token, line_no)
+        elif code in ("s", "t"):
+            srcs.append(_parse_register(token, line_no))
+        elif code == "i":
+            imm = _parse_immediate(token, program, line_no)
+        elif code == "a":
+            match = _ADDR_RE.match(token)
+            if not match:
+                raise AssemblerError(f"line {line_no}: bad address operand {token!r}")
+            offset_text = match.group("offset").strip() or "0"
+            imm = _parse_immediate(offset_text, program, line_no)
+            srcs.append(_parse_register(match.group("base"), line_no))
+        elif code == "l":
+            label = token
+            if token not in program.labels:
+                raise AssemblerError(f"line {line_no}: unknown label {token!r}")
+            target = program.labels[token]
+        else:  # pragma: no cover - shape table is static
+            raise AssemblerError(f"line {line_no}: bad operand shape {code!r}")
+    if mnemonic in ("jal", "jalr"):
+        dest = 31  # link register, written implicitly
+    return Instruction(
+        opcode=mnemonic, dest=dest, srcs=tuple(srcs), imm=imm, target=target, label=label
+    )

@@ -1,0 +1,417 @@
+"""Functional emulator and dynamic-trace generation.
+
+The timing simulator in :mod:`repro.uarch` is trace-driven, like the
+paper's modified SimpleScalar: a functional front end executes the
+program and produces the committed dynamic instruction stream, and the
+timing model replays that stream through the pipeline (branch
+mispredictions stall fetch for the refill latency rather than executing
+wrong-path instructions).
+
+Semantics notes:
+
+* Integer registers hold 32-bit values (register 0 reads as zero and
+  ignores writes); floating-point registers hold Python floats.
+* Jump-register targets and link values are *instruction indices* --
+  the text segment is indexed, not byte-addressed.  Dispatch tables in
+  ``.data`` therefore store instruction indices of labels.
+* Division by zero yields zero (the kernels never rely on trapping).
+* Uninitialised memory reads as zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.assembler import Program
+from repro.isa.instructions import FP_REG_BASE, Instruction, OpClass
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _wrap32(value: int) -> int:
+    """Wrap to signed 32-bit."""
+    value &= _MASK32
+    return value - 0x1_0000_0000 if value >= 0x8000_0000 else value
+
+
+class EmulationError(RuntimeError):
+    """Raised for runtime errors: bad PC, bad jump target, etc."""
+
+
+class DynInst:
+    """One committed dynamic instruction (a trace record).
+
+    Attributes:
+        seq: Dynamic sequence number (0-based).
+        pc: Static instruction index.
+        opcode: Mnemonic.
+        op_class: Execution class (:class:`OpClass`).
+        srcs: Flat architectural source registers actually read
+            (register 0 excluded -- it is never a true dependence).
+        dest: Flat architectural destination register, or None
+            (writes to register 0 are discarded and appear as None).
+        mem_addr: Effective address for loads/stores, else None.
+        is_store / is_load: Memory-class flags.
+        is_branch: True for conditional branches.
+        is_uncond: True for unconditional jumps (predicted perfectly
+            in the baseline model, Table 3).
+        taken: Branch/jump outcome.
+        next_pc: Static index of the following dynamic instruction.
+    """
+
+    __slots__ = (
+        "seq", "pc", "opcode", "op_class", "srcs", "dest", "mem_addr",
+        "is_store", "is_load", "is_branch", "is_uncond", "taken", "next_pc",
+    )
+
+    def __init__(self, seq, pc, opcode, op_class, srcs, dest, mem_addr,
+                 is_store, is_load, is_branch, is_uncond, taken, next_pc):
+        self.seq = seq
+        self.pc = pc
+        self.opcode = opcode
+        self.op_class = op_class
+        self.srcs = srcs
+        self.dest = dest
+        self.mem_addr = mem_addr
+        self.is_store = is_store
+        self.is_load = is_load
+        self.is_branch = is_branch
+        self.is_uncond = is_uncond
+        self.taken = taken
+        self.next_pc = next_pc
+
+    def __repr__(self) -> str:
+        return f"DynInst(#{self.seq} pc={self.pc} {self.opcode})"
+
+
+@dataclass
+class Trace:
+    """A committed dynamic instruction stream plus provenance."""
+
+    insts: list[DynInst]
+    halted: bool
+    program: Program | None = None
+    name: str = ""
+    _class_counts: dict[OpClass, int] | None = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.insts)
+
+    def __iter__(self):
+        return iter(self.insts)
+
+    def __getitem__(self, index):
+        return self.insts[index]
+
+    def class_counts(self) -> dict[OpClass, int]:
+        """Dynamic instruction count per execution class."""
+        if self._class_counts is None:
+            counts: dict[OpClass, int] = {}
+            for inst in self.insts:
+                counts[inst.op_class] = counts.get(inst.op_class, 0) + 1
+            self._class_counts = counts
+        return dict(self._class_counts)
+
+    def branch_fraction(self) -> float:
+        """Fraction of dynamic instructions that are conditional branches."""
+        if not self.insts:
+            return 0.0
+        return sum(1 for i in self.insts if i.is_branch) / len(self.insts)
+
+    def load_fraction(self) -> float:
+        """Fraction of dynamic instructions that are loads."""
+        if not self.insts:
+            return 0.0
+        return sum(1 for i in self.insts if i.is_load) / len(self.insts)
+
+
+class Emulator:
+    """Functional executor for an assembled :class:`Program`."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.int_regs = [0] * FP_REG_BASE
+        self.fp_regs = [0.0] * FP_REG_BASE
+        self.memory: dict[int, int] = dict(program.data_image)
+        self.pc = program.entry_point
+        self.halted = False
+        self.executed = 0
+
+    # ---- register/memory access helpers -----------------------------------
+
+    def read_reg(self, index: int):
+        """Read a flat register (int or fp)."""
+        if index < FP_REG_BASE:
+            return self.int_regs[index] if index != 0 else 0
+        return self.fp_regs[index - FP_REG_BASE]
+
+    def write_reg(self, index: int, value) -> None:
+        """Write a flat register; writes to integer register 0 vanish."""
+        if index < FP_REG_BASE:
+            if index != 0:
+                self.int_regs[index] = _wrap32(int(value))
+        else:
+            self.fp_regs[index - FP_REG_BASE] = float(value)
+
+    def load(self, address: int, size: int, signed: bool) -> int:
+        """Read ``size`` little-endian bytes; missing bytes read as 0."""
+        value = 0
+        for i in range(size):
+            value |= self.memory.get(address + i, 0) << (8 * i)
+        if signed:
+            sign_bit = 1 << (8 * size - 1)
+            if value & sign_bit:
+                value -= 1 << (8 * size)
+        return value
+
+    def store(self, address: int, value: int, size: int) -> None:
+        """Write ``size`` little-endian bytes."""
+        value &= (1 << (8 * size)) - 1
+        for i in range(size):
+            self.memory[address + i] = (value >> (8 * i)) & 0xFF
+
+    # ---- execution ----------------------------------------------------------
+
+    def step(self, seq: int) -> DynInst:
+        """Execute one instruction and return its trace record.
+
+        Raises:
+            EmulationError: if the PC runs off the text segment or a
+                register-indirect jump targets a bad index.
+        """
+        if not 0 <= self.pc < len(self.program.instructions):
+            raise EmulationError(f"PC {self.pc} outside text segment")
+        inst = self.program.instructions[self.pc]
+        pc = self.pc
+        next_pc = pc + 1
+        mem_addr = None
+        taken = False
+        op = inst.opcode
+        cls = inst.op_class
+        read = self.read_reg
+
+        if cls is OpClass.IALU:
+            self._exec_ialu(inst)
+        elif cls is OpClass.IMUL:
+            self._exec_imul(inst)
+        elif cls is OpClass.LOAD:
+            mem_addr = _wrap32(read(inst.srcs[0]) + inst.imm) & _MASK32
+            self._exec_load(inst, mem_addr)
+        elif cls is OpClass.STORE:
+            mem_addr = _wrap32(read(inst.srcs[1]) + inst.imm) & _MASK32
+            self._exec_store(inst, mem_addr)
+        elif cls is OpClass.BRANCH:
+            taken = self._branch_taken(inst)
+            if taken:
+                next_pc = inst.target
+        elif cls is OpClass.JUMP:
+            taken = True
+            if op in ("j", "jal", "b"):
+                if op == "jal":
+                    self.write_reg(31, pc + 1)
+                next_pc = inst.target
+            else:  # jr / jalr
+                target = read(inst.srcs[0])
+                if op == "jalr":
+                    self.write_reg(31, pc + 1)
+                if not 0 <= target < len(self.program.instructions):
+                    raise EmulationError(
+                        f"jump register target {target} outside text segment "
+                        f"(pc={pc})"
+                    )
+                next_pc = target
+        elif cls is OpClass.FPU:
+            self._exec_fpu(inst)
+        else:  # NOP / HALT
+            if op == "halt":
+                self.halted = True
+                next_pc = pc
+
+        self.pc = next_pc
+        self.executed += 1
+
+        dest = inst.dest
+        if dest == 0:
+            dest = None  # writes to r0 are architectural no-ops
+        srcs = tuple(s for s in inst.srcs if s != 0)
+        info = inst.info
+        return DynInst(
+            seq=seq,
+            pc=pc,
+            opcode=op,
+            op_class=cls,
+            srcs=srcs,
+            dest=dest if info.writes_dest else None,
+            mem_addr=mem_addr,
+            is_store=info.writes_memory,
+            is_load=info.reads_memory,
+            is_branch=info.is_conditional,
+            is_uncond=cls is OpClass.JUMP,
+            taken=taken,
+            next_pc=next_pc,
+        )
+
+    def _exec_ialu(self, inst: Instruction) -> None:
+        read = self.read_reg
+        op = inst.opcode
+        if op == "addu":
+            value = read(inst.srcs[0]) + read(inst.srcs[1])
+        elif op == "subu":
+            value = read(inst.srcs[0]) - read(inst.srcs[1])
+        elif op == "and":
+            value = read(inst.srcs[0]) & read(inst.srcs[1])
+        elif op == "or":
+            value = read(inst.srcs[0]) | read(inst.srcs[1])
+        elif op == "xor":
+            value = read(inst.srcs[0]) ^ read(inst.srcs[1])
+        elif op == "nor":
+            value = ~(read(inst.srcs[0]) | read(inst.srcs[1]))
+        elif op == "slt":
+            value = int(read(inst.srcs[0]) < read(inst.srcs[1]))
+        elif op == "sltu":
+            value = int((read(inst.srcs[0]) & _MASK32) < (read(inst.srcs[1]) & _MASK32))
+        elif op == "sllv":
+            value = read(inst.srcs[0]) << (read(inst.srcs[1]) & 31)
+        elif op == "srlv":
+            value = (read(inst.srcs[0]) & _MASK32) >> (read(inst.srcs[1]) & 31)
+        elif op == "srav":
+            value = read(inst.srcs[0]) >> (read(inst.srcs[1]) & 31)
+        elif op == "addiu":
+            value = read(inst.srcs[0]) + inst.imm
+        elif op == "andi":
+            value = read(inst.srcs[0]) & inst.imm
+        elif op == "ori":
+            value = read(inst.srcs[0]) | inst.imm
+        elif op == "xori":
+            value = read(inst.srcs[0]) ^ inst.imm
+        elif op == "slti":
+            value = int(read(inst.srcs[0]) < inst.imm)
+        elif op == "sltiu":
+            value = int((read(inst.srcs[0]) & _MASK32) < (inst.imm & _MASK32))
+        elif op == "sll":
+            value = read(inst.srcs[0]) << (inst.imm & 31)
+        elif op == "srl":
+            value = (read(inst.srcs[0]) & _MASK32) >> (inst.imm & 31)
+        elif op == "sra":
+            value = read(inst.srcs[0]) >> (inst.imm & 31)
+        elif op == "lui":
+            value = inst.imm << 16
+        elif op == "li":
+            value = inst.imm
+        elif op == "move":
+            value = read(inst.srcs[0])
+        else:  # pragma: no cover - opcode table is static
+            raise EmulationError(f"unhandled IALU opcode {op}")
+        self.write_reg(inst.dest, value)
+
+    def _exec_imul(self, inst: Instruction) -> None:
+        a = self.read_reg(inst.srcs[0])
+        b = self.read_reg(inst.srcs[1])
+        if inst.opcode == "mult":
+            value = a * b
+        elif inst.opcode == "div":
+            value = 0 if b == 0 else int(a / b)  # truncate toward zero
+        else:  # rem
+            value = 0 if b == 0 else a - int(a / b) * b
+        self.write_reg(inst.dest, value)
+
+    def _exec_load(self, inst: Instruction, address: int) -> None:
+        op = inst.opcode
+        if op == "lw":
+            value = _wrap32(self.load(address, 4, signed=False))
+        elif op == "lb":
+            value = self.load(address, 1, signed=True)
+        elif op == "lbu":
+            value = self.load(address, 1, signed=False)
+        elif op == "lh":
+            value = self.load(address, 2, signed=True)
+        elif op == "lhu":
+            value = self.load(address, 2, signed=False)
+        else:  # l.s -- fp bits stored as scaled integer for simplicity
+            self.write_reg(inst.dest, self.load(address, 4, signed=True) / 65536.0)
+            return
+        self.write_reg(inst.dest, value)
+
+    def _exec_store(self, inst: Instruction, address: int) -> None:
+        op = inst.opcode
+        value_reg = inst.srcs[0]
+        if op == "sw":
+            self.store(address, self.read_reg(value_reg) & _MASK32, 4)
+        elif op == "sb":
+            self.store(address, self.read_reg(value_reg) & 0xFF, 1)
+        elif op == "sh":
+            self.store(address, self.read_reg(value_reg) & 0xFFFF, 2)
+        else:  # s.s
+            self.store(address, int(self.read_reg(value_reg) * 65536.0) & _MASK32, 4)
+
+    def _exec_fpu(self, inst: Instruction) -> None:
+        read = self.read_reg
+        op = inst.opcode
+        if op == "add.s":
+            value = read(inst.srcs[0]) + read(inst.srcs[1])
+        elif op == "sub.s":
+            value = read(inst.srcs[0]) - read(inst.srcs[1])
+        elif op == "mul.s":
+            value = read(inst.srcs[0]) * read(inst.srcs[1])
+        elif op == "div.s":
+            divisor = read(inst.srcs[1])
+            value = 0.0 if divisor == 0 else read(inst.srcs[0]) / divisor
+        elif op in ("mov.s", "cvt.s.w"):
+            value = float(read(inst.srcs[0]))
+        elif op == "cvt.w.s":
+            value = int(read(inst.srcs[0]))
+        else:  # pragma: no cover - opcode table is static
+            raise EmulationError(f"unhandled FPU opcode {op}")
+        self.write_reg(inst.dest, value)
+
+    def _branch_taken(self, inst: Instruction) -> bool:
+        read = self.read_reg
+        op = inst.opcode
+        if op == "beq":
+            return read(inst.srcs[0]) == read(inst.srcs[1])
+        if op == "bne":
+            return read(inst.srcs[0]) != read(inst.srcs[1])
+        if op == "blez":
+            return read(inst.srcs[0]) <= 0
+        if op == "bgtz":
+            return read(inst.srcs[0]) > 0
+        if op == "bltz":
+            return read(inst.srcs[0]) < 0
+        if op == "bgez":
+            return read(inst.srcs[0]) >= 0
+        if op == "blt":
+            return read(inst.srcs[0]) < read(inst.srcs[1])
+        if op == "bge":
+            return read(inst.srcs[0]) >= read(inst.srcs[1])
+        if op == "ble":
+            return read(inst.srcs[0]) <= read(inst.srcs[1])
+        if op == "bgt":
+            return read(inst.srcs[0]) > read(inst.srcs[1])
+        raise EmulationError(f"unhandled branch opcode {op}")  # pragma: no cover
+
+    def run(self, max_instructions: int = 1_000_000) -> Trace:
+        """Execute until ``halt`` or the instruction cap.
+
+        Args:
+            max_instructions: Upper bound on executed instructions (the
+                paper capped benchmark runs similarly).
+
+        Returns:
+            The committed dynamic :class:`Trace`.
+        """
+        if max_instructions < 0:
+            raise ValueError(f"max_instructions must be >= 0, got {max_instructions}")
+        insts: list[DynInst] = []
+        while not self.halted and len(insts) < max_instructions:
+            record = self.step(len(insts))
+            if record.opcode == "halt":
+                break
+            insts.append(record)
+        return Trace(insts=insts, halted=self.halted, program=self.program)
+
+
+def run_to_trace(program: Program, max_instructions: int = 1_000_000, name: str = "") -> Trace:
+    """Assemble-and-run convenience: execute a program to a trace."""
+    trace = Emulator(program).run(max_instructions)
+    trace.name = name
+    return trace

@@ -1,0 +1,183 @@
+"""Binary instruction encoding and the object-file format.
+
+The ISA uses a wide fixed-length encoding (16 bytes per instruction)
+so every operand form fits without squeezing: one byte each for the
+opcode number, destination, and two sources; a flag byte; a 32-bit
+signed immediate; and a 32-bit branch/jump target (a text-segment
+index -- the toolchain resolves labels at assembly time).
+
+An object file bundles the encoded text segment with the initialised
+data image and the entry point, so assembled programs can be saved
+and reloaded without the assembler::
+
+    blob = encode_program(program)
+    same_program = decode_program(blob)
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.isa.assembler import Program
+from repro.isa.instructions import Instruction, OPCODES
+
+#: File magic and current format version.
+MAGIC = b"RPRO"
+VERSION = 1
+
+#: Stable opcode numbering (alphabetical; append-only in future).
+OPCODE_NUMBERS: dict[str, int] = {
+    name: number for number, name in enumerate(sorted(OPCODES))
+}
+_OPCODE_NAMES: dict[int, str] = {v: k for k, v in OPCODE_NUMBERS.items()}
+
+#: Sentinel for an absent register field.
+_NO_REG = 0xFF
+
+#: Flag bits.
+_HAS_IMM = 0x01
+_HAS_TARGET = 0x02
+
+_RECORD = struct.Struct("<BBBBBxxxiI")  # op, dest, s1, s2, flags, imm, target
+RECORD_SIZE = _RECORD.size
+
+_HEADER = struct.Struct("<4sHII")  # magic, version, entry, n_insts
+_SEGMENT = struct.Struct("<II")  # address, length
+
+
+class EncodingError(ValueError):
+    """Raised for malformed binary instruction data."""
+
+
+def encode_instruction(inst: Instruction) -> bytes:
+    """Encode one instruction as a 16-byte record.
+
+    Raises:
+        EncodingError: if the instruction has more than two sources or
+            an immediate outside 32 bits.
+    """
+    if len(inst.srcs) > 2:
+        raise EncodingError(f"cannot encode {len(inst.srcs)} source operands")
+    flags = 0
+    imm = 0
+    if inst.imm is not None:
+        if not -(2**31) <= inst.imm < 2**31:
+            raise EncodingError(f"immediate {inst.imm} does not fit in 32 bits")
+        flags |= _HAS_IMM
+        imm = inst.imm
+    target = 0
+    if inst.target is not None:
+        flags |= _HAS_TARGET
+        target = inst.target
+    srcs = list(inst.srcs) + [_NO_REG] * (2 - len(inst.srcs))
+    return _RECORD.pack(
+        OPCODE_NUMBERS[inst.opcode],
+        _NO_REG if inst.dest is None else inst.dest,
+        srcs[0],
+        srcs[1],
+        flags,
+        imm,
+        target,
+    )
+
+
+def decode_instruction(blob: bytes) -> Instruction:
+    """Decode one 16-byte record back to an :class:`Instruction`.
+
+    Raises:
+        EncodingError: for a wrong-sized record or unknown opcode.
+    """
+    if len(blob) != RECORD_SIZE:
+        raise EncodingError(
+            f"instruction record must be {RECORD_SIZE} bytes, got {len(blob)}"
+        )
+    op_number, dest, src1, src2, flags, imm, target = _RECORD.unpack(blob)
+    opcode = _OPCODE_NAMES.get(op_number)
+    if opcode is None:
+        raise EncodingError(f"unknown opcode number {op_number}")
+    srcs = tuple(s for s in (src1, src2) if s != _NO_REG)
+    has_target = bool(flags & _HAS_TARGET)
+    return Instruction(
+        opcode=opcode,
+        dest=None if dest == _NO_REG else dest,
+        srcs=srcs,
+        imm=imm if flags & _HAS_IMM else None,
+        target=target if has_target else None,
+        label=f"@{target}" if has_target else None,
+    )
+
+
+def _data_segments(image: dict[int, int]) -> list[tuple[int, bytes]]:
+    """Coalesce a sparse byte image into contiguous segments."""
+    segments: list[tuple[int, bytes]] = []
+    run_start = None
+    run_bytes = bytearray()
+    for address in sorted(image):
+        if run_start is not None and address == run_start + len(run_bytes):
+            run_bytes.append(image[address])
+            continue
+        if run_start is not None:
+            segments.append((run_start, bytes(run_bytes)))
+        run_start = address
+        run_bytes = bytearray([image[address]])
+    if run_start is not None:
+        segments.append((run_start, bytes(run_bytes)))
+    return segments
+
+
+def encode_program(program: Program) -> bytes:
+    """Serialise a program (text + data + entry) to an object blob."""
+    parts = [
+        _HEADER.pack(MAGIC, VERSION, program.entry_point, len(program.instructions))
+    ]
+    for inst in program.instructions:
+        parts.append(encode_instruction(inst))
+    segments = _data_segments(program.data_image)
+    parts.append(struct.pack("<I", len(segments)))
+    for address, data in segments:
+        parts.append(_SEGMENT.pack(address, len(data)))
+        parts.append(data)
+    return b"".join(parts)
+
+
+def decode_program(blob: bytes) -> Program:
+    """Deserialise an object blob back to a runnable :class:`Program`.
+
+    Label names are not stored in object files; branch targets decode
+    as ``@index`` pseudo-labels.
+
+    Raises:
+        EncodingError: for bad magic, version, or truncated data.
+    """
+    if len(blob) < _HEADER.size:
+        raise EncodingError("object blob too short for header")
+    magic, version, entry, n_insts = _HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise EncodingError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise EncodingError(f"unsupported object version {version}")
+    offset = _HEADER.size
+    program = Program(entry_point=entry)
+    for _ in range(n_insts):
+        record = blob[offset : offset + RECORD_SIZE]
+        program.instructions.append(decode_instruction(record))
+        program.source_lines.append(0)
+        offset += RECORD_SIZE
+    if offset + 4 > len(blob):
+        raise EncodingError("object blob truncated before data segments")
+    (n_segments,) = struct.unpack_from("<I", blob, offset)
+    offset += 4
+    for _ in range(n_segments):
+        if offset + _SEGMENT.size > len(blob):
+            raise EncodingError("object blob truncated in segment table")
+        address, length = _SEGMENT.unpack_from(blob, offset)
+        offset += _SEGMENT.size
+        data = blob[offset : offset + length]
+        if len(data) != length:
+            raise EncodingError("object blob truncated in segment data")
+        for index, byte in enumerate(data):
+            program.data_image[address + index] = byte
+        offset += length
+    if entry and entry >= max(1, len(program.instructions)):
+        raise EncodingError(f"entry point {entry} outside text segment")
+    return program

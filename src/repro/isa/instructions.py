@@ -1,0 +1,209 @@
+"""Instruction-set definition.
+
+A MIPS-flavoured load/store RISC ISA:
+
+* 32 integer registers ``r0``-``r31`` (``r0`` reads as zero) and 32
+  floating-point registers ``f0``-``f31``; in the flat register-index
+  space used throughout the package, integer registers occupy 0-31 and
+  floating-point registers 32-63.
+* Three-operand ALU instructions, immediate forms, loads/stores with
+  register+offset addressing, compare-and-branch conditionals, and
+  jumps (direct, register-indirect, and link forms).
+* No delay slots (the paper's baseline predicts branches and squashes
+  on mispredict; delay slots would only complicate the steering logic).
+
+Each opcode carries an :class:`OpcodeInfo` descriptor giving its
+operand shape (used by the assembler) and its :class:`OpClass` (used by
+the timing simulator to pick functional units and latencies).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+#: Number of architected registers visible to renaming (int + fp).
+NUM_LOGICAL_REGS = 64
+#: Flat index of floating-point register f0.
+FP_REG_BASE = 32
+
+
+class OpClass(enum.Enum):
+    """Execution class of an instruction (functional-unit selection)."""
+
+    IALU = "ialu"  #: single-cycle integer ALU op
+    IMUL = "imul"  #: integer multiply/divide
+    LOAD = "load"  #: memory read
+    STORE = "store"  #: memory write
+    BRANCH = "branch"  #: conditional branch
+    JUMP = "jump"  #: unconditional jump / call / return
+    FPU = "fpu"  #: floating-point arithmetic
+    NOP = "nop"  #: no-op (issues but does nothing)
+
+
+#: Operand-shape codes used by OpcodeInfo.operands:
+#:   d = destination register, s/t = source registers, i = immediate,
+#:   a = address operand "imm(rs)", l = label (branch/jump target).
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static description of one opcode."""
+
+    name: str
+    op_class: OpClass
+    operands: str
+    writes_dest: bool = True
+    reads_memory: bool = False
+    writes_memory: bool = False
+    is_conditional: bool = False
+    description: str = ""
+
+
+def _op(name, op_class, operands, **kwargs):
+    return OpcodeInfo(name=name, op_class=op_class, operands=operands, **kwargs)
+
+
+#: The opcode table.  Keys are mnemonic strings as written in assembly.
+OPCODES: dict[str, OpcodeInfo] = {
+    # --- integer ALU, register forms -------------------------------------
+    "addu": _op("addu", OpClass.IALU, "dst", description="rd = rs + rt"),
+    "subu": _op("subu", OpClass.IALU, "dst", description="rd = rs - rt"),
+    "and": _op("and", OpClass.IALU, "dst", description="rd = rs & rt"),
+    "or": _op("or", OpClass.IALU, "dst", description="rd = rs | rt"),
+    "xor": _op("xor", OpClass.IALU, "dst", description="rd = rs ^ rt"),
+    "nor": _op("nor", OpClass.IALU, "dst", description="rd = ~(rs | rt)"),
+    "slt": _op("slt", OpClass.IALU, "dst", description="rd = (rs < rt) signed"),
+    "sltu": _op("sltu", OpClass.IALU, "dst", description="rd = (rs < rt) unsigned"),
+    "sllv": _op("sllv", OpClass.IALU, "dst", description="rd = rs << (rt & 31)"),
+    "srlv": _op("srlv", OpClass.IALU, "dst", description="rd = rs >> (rt & 31) logical"),
+    "srav": _op("srav", OpClass.IALU, "dst", description="rd = rs >> (rt & 31) arith"),
+    # --- integer ALU, immediate forms -------------------------------------
+    "addiu": _op("addiu", OpClass.IALU, "dsi", description="rd = rs + imm"),
+    "andi": _op("andi", OpClass.IALU, "dsi", description="rd = rs & imm"),
+    "ori": _op("ori", OpClass.IALU, "dsi", description="rd = rs | imm"),
+    "xori": _op("xori", OpClass.IALU, "dsi", description="rd = rs ^ imm"),
+    "slti": _op("slti", OpClass.IALU, "dsi", description="rd = (rs < imm) signed"),
+    "sltiu": _op("sltiu", OpClass.IALU, "dsi", description="rd = (rs < imm) unsigned"),
+    "sll": _op("sll", OpClass.IALU, "dsi", description="rd = rs << imm"),
+    "srl": _op("srl", OpClass.IALU, "dsi", description="rd = rs >> imm logical"),
+    "sra": _op("sra", OpClass.IALU, "dsi", description="rd = rs >> imm arith"),
+    "lui": _op("lui", OpClass.IALU, "di", description="rd = imm << 16"),
+    "li": _op("li", OpClass.IALU, "di", description="rd = imm (pseudo)"),
+    "move": _op("move", OpClass.IALU, "ds", description="rd = rs (pseudo)"),
+    # --- integer multiply/divide ------------------------------------------
+    "mult": _op("mult", OpClass.IMUL, "dst", description="rd = rs * rt"),
+    "div": _op("div", OpClass.IMUL, "dst", description="rd = rs / rt (trunc)"),
+    "rem": _op("rem", OpClass.IMUL, "dst", description="rd = rs % rt"),
+    # --- memory -------------------------------------------------------------
+    "lw": _op("lw", OpClass.LOAD, "da", reads_memory=True, description="rd = mem32[rs+imm]"),
+    "lb": _op("lb", OpClass.LOAD, "da", reads_memory=True, description="rd = sext(mem8[rs+imm])"),
+    "lbu": _op("lbu", OpClass.LOAD, "da", reads_memory=True, description="rd = mem8[rs+imm]"),
+    "lh": _op("lh", OpClass.LOAD, "da", reads_memory=True, description="rd = sext(mem16[rs+imm])"),
+    "lhu": _op("lhu", OpClass.LOAD, "da", reads_memory=True, description="rd = mem16[rs+imm]"),
+    "sw": _op("sw", OpClass.STORE, "ta", writes_dest=False, writes_memory=True,
+              description="mem32[rs+imm] = rt"),
+    "sb": _op("sb", OpClass.STORE, "ta", writes_dest=False, writes_memory=True,
+              description="mem8[rs+imm] = rt"),
+    "sh": _op("sh", OpClass.STORE, "ta", writes_dest=False, writes_memory=True,
+              description="mem16[rs+imm] = rt"),
+    # --- control ------------------------------------------------------------
+    "beq": _op("beq", OpClass.BRANCH, "stl", writes_dest=False, is_conditional=True,
+               description="if rs == rt goto label"),
+    "bne": _op("bne", OpClass.BRANCH, "stl", writes_dest=False, is_conditional=True,
+               description="if rs != rt goto label"),
+    "blez": _op("blez", OpClass.BRANCH, "sl", writes_dest=False, is_conditional=True,
+                description="if rs <= 0 goto label"),
+    "bgtz": _op("bgtz", OpClass.BRANCH, "sl", writes_dest=False, is_conditional=True,
+                description="if rs > 0 goto label"),
+    "bltz": _op("bltz", OpClass.BRANCH, "sl", writes_dest=False, is_conditional=True,
+                description="if rs < 0 goto label"),
+    "bgez": _op("bgez", OpClass.BRANCH, "sl", writes_dest=False, is_conditional=True,
+                description="if rs >= 0 goto label"),
+    "blt": _op("blt", OpClass.BRANCH, "stl", writes_dest=False, is_conditional=True,
+               description="if rs < rt goto label (signed)"),
+    "bge": _op("bge", OpClass.BRANCH, "stl", writes_dest=False, is_conditional=True,
+               description="if rs >= rt goto label (signed)"),
+    "ble": _op("ble", OpClass.BRANCH, "stl", writes_dest=False, is_conditional=True,
+               description="if rs <= rt goto label (signed)"),
+    "bgt": _op("bgt", OpClass.BRANCH, "stl", writes_dest=False, is_conditional=True,
+               description="if rs > rt goto label (signed)"),
+    "b": _op("b", OpClass.JUMP, "l", writes_dest=False,
+             description="goto label (unconditional)"),
+    "j": _op("j", OpClass.JUMP, "l", writes_dest=False, description="goto label"),
+    "jal": _op("jal", OpClass.JUMP, "l", description="r31 = return; goto label"),
+    "jr": _op("jr", OpClass.JUMP, "s", writes_dest=False, description="goto rs"),
+    "jalr": _op("jalr", OpClass.JUMP, "s", description="r31 = return; goto rs"),
+    # --- floating point -------------------------------------------------------
+    "add.s": _op("add.s", OpClass.FPU, "dst", description="fd = fs + ft"),
+    "sub.s": _op("sub.s", OpClass.FPU, "dst", description="fd = fs - ft"),
+    "mul.s": _op("mul.s", OpClass.FPU, "dst", description="fd = fs * ft"),
+    "div.s": _op("div.s", OpClass.FPU, "dst", description="fd = fs / ft"),
+    "mov.s": _op("mov.s", OpClass.FPU, "ds", description="fd = fs"),
+    "l.s": _op("l.s", OpClass.LOAD, "da", reads_memory=True, description="fd = mem32[rs+imm]"),
+    "s.s": _op("s.s", OpClass.STORE, "ta", writes_dest=False, writes_memory=True,
+               description="mem32[rs+imm] = ft"),
+    "cvt.s.w": _op("cvt.s.w", OpClass.FPU, "ds", description="fd = float(rs)"),
+    "cvt.w.s": _op("cvt.w.s", OpClass.FPU, "ds", description="rd = int(fs)"),
+    # --- misc ---------------------------------------------------------------
+    "nop": _op("nop", OpClass.NOP, "", writes_dest=False, description="no operation"),
+    "halt": _op("halt", OpClass.NOP, "", writes_dest=False, description="stop execution"),
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static (assembled) instruction.
+
+    Attributes:
+        opcode: Mnemonic; must be a key of :data:`OPCODES`.
+        dest: Flat destination register index, or None.
+        srcs: Flat source register indices (operands actually read).
+        imm: Immediate value (also the offset for memory operands).
+        target: Resolved target instruction index for branches/jumps
+            with label operands, or None.
+        label: The original label text, for disassembly.
+    """
+
+    opcode: str
+    dest: int | None = None
+    srcs: tuple[int, ...] = field(default=())
+    imm: int | None = None
+    target: int | None = None
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.opcode not in OPCODES:
+            raise ValueError(f"unknown opcode {self.opcode!r}")
+        for reg in (self.dest, *self.srcs):
+            if reg is not None and not 0 <= reg < NUM_LOGICAL_REGS:
+                raise ValueError(f"register index {reg} out of range")
+
+    @property
+    def info(self) -> OpcodeInfo:
+        """Static opcode descriptor."""
+        return OPCODES[self.opcode]
+
+    @property
+    def op_class(self) -> OpClass:
+        """Execution class."""
+        return self.info.op_class
+
+    def __str__(self) -> str:
+        parts = []
+        if self.dest is not None:
+            parts.append(reg_name(self.dest))
+        parts.extend(reg_name(s) for s in self.srcs)
+        if self.imm is not None:
+            parts.append(str(self.imm))
+        if self.label is not None:
+            parts.append(self.label)
+        operand_text = ", ".join(parts)
+        return f"{self.opcode} {operand_text}".strip()
+
+
+def reg_name(index: int) -> str:
+    """Printable name of a flat register index (``r7`` or ``f3``)."""
+    if not 0 <= index < NUM_LOGICAL_REGS:
+        raise ValueError(f"register index {index} out of range")
+    if index < FP_REG_BASE:
+        return f"r{index}"
+    return f"f{index - FP_REG_BASE}"

@@ -1,0 +1,58 @@
+"""Mini: a small C-like language compiled to the package's ISA.
+
+Writing workload kernels in raw assembly is faithful but laborious;
+Mini lets users express them at C level and compile to the same ISA
+the paper experiments run on::
+
+    from repro.lang import compile_source
+    from repro.isa import Emulator
+
+    program = compile_source('''
+        var total;
+        array data[64];
+
+        func main() {
+            var i;
+            i = 0;
+            while (i < 64) { data[i] = i * i; i = i + 1; }
+            total = sum(0, 64);
+            return total;
+        }
+
+        func sum(lo, hi) {
+            var acc; var i;
+            acc = 0; i = lo;
+            while (i < hi) { acc = acc + data[i]; i = i + 1; }
+            return acc;
+        }
+    ''')
+    emulator = Emulator(program)
+    emulator.run()
+
+Language summary:
+
+* ``var name;`` global or local 32-bit integers; ``array name[N];``
+  global word arrays.
+* Functions with up to four by-value parameters; ``return expr;``
+  (``main``'s return value lands in ``r2`` and the emulator halts).
+* Statements: assignment (variables and array elements), ``while``,
+  ``if``/``else``, expression calls, ``return``.
+* Expressions: ``+ - * / %``, bitwise ``& | ^``, shifts ``<< >>``,
+  comparisons ``== != < <= > >=`` (yielding 0/1), unary ``-``,
+  parentheses, integer literals, calls.  C-like precedence;
+  division truncates toward zero; all arithmetic is 32-bit.
+"""
+
+from repro.lang.errors import CompileError
+from repro.lang.lexer import Token, tokenize
+from repro.lang.parser import parse
+from repro.lang.codegen import compile_source, compile_to_assembly
+
+__all__ = [
+    "CompileError",
+    "Token",
+    "tokenize",
+    "parse",
+    "compile_source",
+    "compile_to_assembly",
+]

@@ -1,0 +1,128 @@
+"""Mini abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base class carrying the source line."""
+
+    line: int
+
+
+# ---- expressions ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NumberLit(Node):
+    value: int
+
+
+@dataclass(frozen=True)
+class VarRef(Node):
+    name: str
+
+
+@dataclass(frozen=True)
+class ArrayRef(Node):
+    name: str
+    index: "Expr"
+
+
+@dataclass(frozen=True)
+class Unary(Node):
+    op: str  #: '-' (negate) or '!' (logical not)
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Binary(Node):
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Call(Node):
+    name: str
+    args: tuple["Expr", ...]
+
+
+Expr = NumberLit | VarRef | ArrayRef | Unary | Binary | Call
+
+
+# ---- statements -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Assign(Node):
+    target: VarRef | ArrayRef
+    value: Expr
+
+
+@dataclass(frozen=True)
+class While(Node):
+    condition: Expr
+    body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class If(Node):
+    condition: Expr
+    then_body: tuple["Stmt", ...]
+    else_body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class Return(Node):
+    value: Expr | None
+
+
+@dataclass(frozen=True)
+class Break(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class Continue(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class ExprStmt(Node):
+    expr: Expr  #: usually a call evaluated for effect
+
+
+@dataclass(frozen=True)
+class VarDecl(Node):
+    name: str
+
+
+Stmt = Assign | While | If | Return | ExprStmt | VarDecl | Break | Continue
+
+
+# ---- top level ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArrayDecl(Node):
+    name: str
+    size: int
+
+
+@dataclass(frozen=True)
+class Function(Node):
+    name: str
+    params: tuple[str, ...]
+    body: tuple[Stmt, ...]
+
+
+@dataclass
+class Module:
+    """A parsed compilation unit."""
+
+    globals: list[VarDecl] = field(default_factory=list)
+    arrays: list[ArrayDecl] = field(default_factory=list)
+    functions: list[Function] = field(default_factory=list)

@@ -1,0 +1,15 @@
+"""Compilation errors."""
+
+from __future__ import annotations
+
+
+class CompileError(ValueError):
+    """Raised for any lexical, syntactic, or semantic error.
+
+    Carries the source line number when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        prefix = f"line {line}: " if line is not None else ""
+        super().__init__(f"{prefix}{message}")

@@ -1,0 +1,83 @@
+"""Mini lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.errors import CompileError
+
+KEYWORDS = frozenset({"var", "array", "func", "while", "if", "else", "return",
+                      "break", "continue"})
+
+#: Multi-character operators, longest first so they win the scan.
+_OPERATORS = ("<<", ">>", "==", "!=", "<=", ">=", "&&", "||",
+              "+", "-", "*", "/", "%", "&", "|", "^", "<", ">", "!",
+              "=", "(", ")", "{", "}", "[", "]", ";", ",")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is ``ident``, ``number``, ``keyword``, ``op``, or ``eof``.
+    """
+
+    kind: str
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}:{self.text!r}@{self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Scan source text into tokens (ending with an ``eof`` token).
+
+    Raises:
+        CompileError: on an unrecognised character.
+    """
+    tokens: list[Token] = []
+    line = 1
+    index = 0
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            continue
+        if char == "#":  # comment to end of line
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "x"):
+                index += 1
+            text = source[start:index]
+            try:
+                int(text, 0)
+            except ValueError:
+                raise CompileError(f"bad number literal {text!r}", line) from None
+            tokens.append(Token("number", text, line))
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            continue
+        for operator in _OPERATORS:
+            if source.startswith(operator, index):
+                tokens.append(Token("op", operator, line))
+                index += len(operator)
+                break
+        else:
+            raise CompileError(f"unexpected character {char!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens

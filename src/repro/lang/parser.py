@@ -1,0 +1,242 @@
+"""Mini recursive-descent parser."""
+
+from __future__ import annotations
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import CompileError
+from repro.lang.lexer import Token, tokenize
+
+#: Binary operator precedence, higher binds tighter (C-like).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+#: Maximum array size accepted (keeps data segments sane).
+MAX_ARRAY_WORDS = 1 << 20
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # ---- token plumbing ------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.current
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise CompileError(
+                f"expected {wanted!r}, found {token.text or 'end of input'!r}",
+                token.line,
+            )
+        return self.advance()
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self.current
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    # ---- grammar ----------------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        module = ast.Module()
+        while self.current.kind != "eof":
+            token = self.current
+            if token.kind == "keyword" and token.text == "var":
+                module.globals.append(self._var_decl())
+            elif token.kind == "keyword" and token.text == "array":
+                module.arrays.append(self._array_decl())
+            elif token.kind == "keyword" and token.text == "func":
+                module.functions.append(self._function())
+            else:
+                raise CompileError(
+                    f"expected declaration, found {token.text!r}", token.line
+                )
+        return module
+
+    def _var_decl(self) -> ast.VarDecl:
+        line = self.expect("keyword", "var").line
+        name = self.expect("ident").text
+        self.expect("op", ";")
+        return ast.VarDecl(line=line, name=name)
+
+    def _array_decl(self) -> ast.ArrayDecl:
+        line = self.expect("keyword", "array").line
+        name = self.expect("ident").text
+        self.expect("op", "[")
+        size_token = self.expect("number")
+        size = int(size_token.text, 0)
+        if not 1 <= size <= MAX_ARRAY_WORDS:
+            raise CompileError(f"array size {size} out of range", size_token.line)
+        self.expect("op", "]")
+        self.expect("op", ";")
+        return ast.ArrayDecl(line=line, name=name, size=size)
+
+    def _function(self) -> ast.Function:
+        line = self.expect("keyword", "func").line
+        name = self.expect("ident").text
+        self.expect("op", "(")
+        params: list[str] = []
+        if not self.accept("op", ")"):
+            while True:
+                params.append(self.expect("ident").text)
+                if self.accept("op", ")"):
+                    break
+                self.expect("op", ",")
+        if len(params) > 4:
+            raise CompileError(
+                f"function {name!r} has {len(params)} parameters (max 4)", line
+            )
+        if len(set(params)) != len(params):
+            raise CompileError(f"duplicate parameter in {name!r}", line)
+        body = self._block()
+        return ast.Function(line=line, name=name, params=tuple(params), body=body)
+
+    def _block(self) -> tuple[ast.Stmt, ...]:
+        self.expect("op", "{")
+        statements: list[ast.Stmt] = []
+        while not self.accept("op", "}"):
+            statements.append(self._statement())
+        return tuple(statements)
+
+    def _statement(self) -> ast.Stmt:
+        token = self.current
+        if token.kind == "keyword":
+            if token.text == "var":
+                return self._var_decl()
+            if token.text == "while":
+                self.advance()
+                self.expect("op", "(")
+                condition = self._expression()
+                self.expect("op", ")")
+                body = self._block()
+                return ast.While(line=token.line, condition=condition, body=body)
+            if token.text == "if":
+                self.advance()
+                self.expect("op", "(")
+                condition = self._expression()
+                self.expect("op", ")")
+                then_body = self._block()
+                else_body: tuple[ast.Stmt, ...] = ()
+                if self.accept("keyword", "else"):
+                    if self.current.kind == "keyword" and self.current.text == "if":
+                        else_body = (self._statement(),)
+                    else:
+                        else_body = self._block()
+                return ast.If(
+                    line=token.line,
+                    condition=condition,
+                    then_body=then_body,
+                    else_body=else_body,
+                )
+            if token.text == "return":
+                self.advance()
+                value = None
+                if not (self.current.kind == "op" and self.current.text == ";"):
+                    value = self._expression()
+                self.expect("op", ";")
+                return ast.Return(line=token.line, value=value)
+            if token.text == "break":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Break(line=token.line)
+            if token.text == "continue":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Continue(line=token.line)
+            raise CompileError(f"unexpected keyword {token.text!r}", token.line)
+        # Assignment or expression statement.
+        expr = self._expression()
+        if self.accept("op", "="):
+            if not isinstance(expr, (ast.VarRef, ast.ArrayRef)):
+                raise CompileError("assignment target must be a variable or "
+                                   "array element", token.line)
+            value = self._expression()
+            self.expect("op", ";")
+            return ast.Assign(line=token.line, target=expr, value=value)
+        self.expect("op", ";")
+        return ast.ExprStmt(line=token.line, expr=expr)
+
+    # ---- expressions (precedence climbing) --------------------------------
+
+    def _expression(self, min_precedence: int = 1) -> ast.Expr:
+        left = self._unary()
+        while True:
+            token = self.current
+            if token.kind != "op":
+                return left
+            precedence = _PRECEDENCE.get(token.text)
+            if precedence is None or precedence < min_precedence:
+                return left
+            self.advance()
+            right = self._expression(precedence + 1)
+            left = ast.Binary(line=token.line, op=token.text, left=left, right=right)
+
+    def _unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "op" and token.text in ("-", "!"):
+            self.advance()
+            return ast.Unary(line=token.line, op=token.text, operand=self._unary())
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            return ast.NumberLit(line=token.line, value=int(token.text, 0))
+        if self.accept("op", "("):
+            expr = self._expression()
+            self.expect("op", ")")
+            return expr
+        if token.kind == "ident":
+            self.advance()
+            if self.accept("op", "("):
+                args: list[ast.Expr] = []
+                if not self.accept("op", ")"):
+                    while True:
+                        args.append(self._expression())
+                        if self.accept("op", ")"):
+                            break
+                        self.expect("op", ",")
+                if len(args) > 4:
+                    raise CompileError(
+                        f"call to {token.text!r} has {len(args)} arguments (max 4)",
+                        token.line,
+                    )
+                return ast.Call(line=token.line, name=token.text, args=tuple(args))
+            if self.accept("op", "["):
+                index = self._expression()
+                self.expect("op", "]")
+                return ast.ArrayRef(line=token.line, name=token.text, index=index)
+            return ast.VarRef(line=token.line, name=token.text)
+        raise CompileError(f"expected expression, found {token.text!r}", token.line)
+
+
+def parse(source: str) -> ast.Module:
+    """Parse Mini source into a module AST.
+
+    Raises:
+        CompileError: on any lexical or syntax error.
+    """
+    return _Parser(tokenize(source)).parse_module()

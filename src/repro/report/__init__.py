@@ -1,0 +1,11 @@
+"""Text rendering of tables and figure-style bar charts.
+
+The paper's Figures 13, 15, and 17 are grouped bar charts; this
+package renders the same comparisons as aligned text so experiment
+results read like the figures without a plotting dependency.
+"""
+
+from repro.report.figures import bar_chart, grouped_bar_chart, text_table
+from repro.report.timeline import render_timeline
+
+__all__ = ["bar_chart", "grouped_bar_chart", "text_table", "render_timeline"]

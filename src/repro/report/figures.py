@@ -1,0 +1,100 @@
+"""ASCII tables and bar charts."""
+
+from __future__ import annotations
+
+#: Glyph used for bar bodies.
+_BAR = "#"
+
+
+def text_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Render an aligned table.
+
+    Args:
+        headers: Column titles.
+        rows: Cell values; floats are rendered with three decimals.
+
+    Raises:
+        ValueError: if any row width differs from the header width.
+    """
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    cells = [[render(v) for v in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in cells)) if cells
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+    def line(parts):
+        return "  ".join(part.rjust(width) for part, width in zip(parts, widths))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def bar_chart(
+    values: dict[str, float], width: int = 50, unit: str = ""
+) -> str:
+    """Render one series of labelled horizontal bars.
+
+    Bars scale so the maximum value fills ``width`` characters.
+
+    Raises:
+        ValueError: for an empty series, non-positive width, or
+            negative values.
+    """
+    if not values:
+        raise ValueError("bar_chart needs at least one value")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if any(v < 0 for v in values.values()):
+        raise ValueError("bar_chart values must be non-negative")
+    peak = max(values.values()) or 1.0
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        bar = _BAR * max(0, round(width * value / peak))
+        suffix = f" {value:.3f}{unit}"
+        lines.append(f"{label.ljust(label_width)} |{bar}{suffix}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    series: dict[str, dict[str, float]], width: int = 40, unit: str = ""
+) -> str:
+    """Render grouped bars, one group per outer key (like Figure 13:
+    one group per benchmark, one bar per machine).
+
+    Raises:
+        ValueError: for empty input or inconsistent inner keys.
+    """
+    if not series:
+        raise ValueError("grouped_bar_chart needs at least one group")
+    inner_keys = None
+    for group in series.values():
+        if inner_keys is None:
+            inner_keys = list(group)
+        elif list(group) != inner_keys:
+            raise ValueError("every group must have the same bars")
+    peak = max(
+        (value for group in series.values() for value in group.values()),
+        default=1.0,
+    ) or 1.0
+    label_width = max(len(name) for name in inner_keys)
+    lines = []
+    for group_name, group in series.items():
+        lines.append(f"{group_name}:")
+        for name, value in group.items():
+            bar = _BAR * max(0, round(width * value / peak))
+            lines.append(
+                f"  {name.ljust(label_width)} |{bar} {value:.3f}{unit}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Pipeline timeline rendering (textbook pipe diagrams).
+
+Renders a finished simulation's per-instruction stage cycles as the
+classic instruction/cycle grid::
+
+    seq opcode        0123456789
+      0 li r1, 0      F.DI*C
+      1 addu r1, ...  F.D.I*C
+
+Stage letters: ``F`` fetch, ``D`` dispatch (rename/steer), ``I``
+issue, ``*`` execution occupancy after issue, ``C`` commit.  This is
+the fastest way to *see* timing effects -- e.g. the Figure 10 bubble
+between dependent instructions when wakeup/select is pipelined.
+"""
+
+from __future__ import annotations
+
+from repro.uarch.pipeline import PipelineSimulator
+
+#: Stage glyphs, later stages overwrite earlier ones on collisions.
+_GLYPHS = ("F", "D", "I", "*", "C")
+
+
+def render_timeline(
+    simulator: PipelineSimulator,
+    first: int = 0,
+    count: int = 16,
+    max_width: int = 100,
+) -> str:
+    """Render the pipeline timeline of a committed instruction range.
+
+    Args:
+        simulator: A simulator whose :meth:`run` has completed.
+        first: First dynamic sequence number to show.
+        count: Number of instructions.
+        max_width: Clip the cycle axis to this many columns.
+
+    Raises:
+        ValueError: for an empty or out-of-range instruction range.
+    """
+    n = len(simulator.insts)
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if not 0 <= first < n:
+        raise ValueError(f"first={first} outside trace of {n} instructions")
+    last = min(n, first + count)
+    rows = range(first, last)
+
+    base_cycle = min(simulator.fetch_cycle[seq] for seq in rows)
+    end_cycle = max(simulator.commit_cycle[seq] for seq in rows)
+    width = min(max_width, end_cycle - base_cycle + 1)
+
+    def label(seq: int) -> str:
+        inst = simulator.insts[seq]
+        return f"{inst.opcode} (pc {inst.pc})"
+
+    label_width = min(28, max(len(label(seq)) for seq in rows))
+    lines = [
+        f"{'seq':>5s} {'instruction'.ljust(label_width)} "
+        f"cycles {base_cycle}..{base_cycle + width - 1}"
+    ]
+    for seq in rows:
+        cells = ["."] * width
+
+        def put(cycle, glyph):
+            offset = cycle - base_cycle
+            if 0 <= offset < width:
+                cells[offset] = glyph
+
+        issue = simulator.issue_cycle[seq]
+        complete = simulator.complete_cycle[seq]
+        put(simulator.fetch_cycle[seq], "F")
+        put(simulator.dispatch_cycle[seq], "D")
+        put(issue, "I")
+        for cycle in range(issue + 1, int(complete)):
+            put(cycle, "*")
+        put(simulator.commit_cycle[seq], "C")
+        text = label(seq)[:label_width]
+        lines.append(f"{seq:5d} {text.ljust(label_width)} {''.join(cells)}")
+    return "\n".join(lines)

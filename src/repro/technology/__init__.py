@@ -1,0 +1,40 @@
+"""CMOS technology parameters and first-order circuit physics.
+
+The paper simulated its circuits in Hspice for three feature sizes
+(0.8 um, 0.35 um, and 0.18 um) using process decks tabulated in the
+companion technical report.  Those decks are not available, so this
+package provides the two ingredients the paper's delay analysis actually
+depends on:
+
+* wire delay, which is governed by the metal resistance and capacitance
+  per unit length and is *constant across technologies* under the
+  paper's scaling model (Section 4.4, Table 1); and
+* logic delay, which shrinks with feature size; the per-technology
+  speed factors are calibrated in :mod:`repro.delay.calibration`.
+"""
+
+from repro.technology.params import (
+    FEATURE_SIZES_UM,
+    TECH_018,
+    TECH_035,
+    TECH_080,
+    TECHNOLOGIES,
+    Technology,
+    technology_by_feature_size,
+)
+from repro.technology.wires import WireModel, distributed_rc_delay_ps
+from repro.technology.gates import GateLibrary, fanout4_chain_delay
+
+__all__ = [
+    "FEATURE_SIZES_UM",
+    "TECH_018",
+    "TECH_035",
+    "TECH_080",
+    "TECHNOLOGIES",
+    "Technology",
+    "technology_by_feature_size",
+    "WireModel",
+    "distributed_rc_delay_ps",
+    "GateLibrary",
+    "fanout4_chain_delay",
+]

@@ -1,0 +1,86 @@
+"""Logic (gate) delay estimates.
+
+The paper's absolute logic delays come from Hspice runs of sized
+transistor networks.  For structural reasoning the delay models only
+need relative logic delays with sensible technology scaling, so this
+module provides a small logical-effort-style library: a per-technology
+base delay ``tau`` and standard gate parasitic/effort values.  The
+fitted constants in :mod:`repro.delay.calibration` supersede these
+estimates wherever the paper publishes a number; the library is used by
+the circuit block models for quantities the paper does not tabulate
+(e.g. arbiter-cell composition) and by tests as a sanity cross-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.technology.params import Technology
+
+#: Base inverter delay (tau) at 0.18 um, in picoseconds.  Chosen so that
+#: a fanout-of-4 inverter (delay ~ 5 tau) is about 90 ps, which is
+#: representative of a late-1990s 0.18 um process and consistent with
+#: the magnitude of the paper's 0.18 um logic delays.
+_TAU_018_PS = 18.0
+
+#: Logical effort (g) and parasitic delay (p) per gate type, from the
+#: standard Sutherland/Sproull tables (2-input NAND g=4/3 p=2, etc.).
+_GATE_TABLE = {
+    "inv": (1.0, 1.0),
+    "nand2": (4.0 / 3.0, 2.0),
+    "nand3": (5.0 / 3.0, 3.0),
+    "nand4": (2.0, 4.0),
+    "nor2": (5.0 / 3.0, 2.0),
+    "nor3": (7.0 / 3.0, 3.0),
+    "nor4": (3.0, 4.0),
+}
+
+
+@dataclass(frozen=True)
+class GateLibrary:
+    """Logical-effort gate delay estimates for one technology."""
+
+    tech: Technology
+
+    @property
+    def tau_ps(self) -> float:
+        """Base inverter delay for this technology in picoseconds."""
+        return _TAU_018_PS * self.tech.logic_speed
+
+    def gate_delay_ps(self, gate: str, electrical_effort: float = 4.0) -> float:
+        """Delay of one gate stage driving the given electrical effort.
+
+        Args:
+            gate: One of ``inv``, ``nand2``..``nand4``, ``nor2``..``nor4``.
+            electrical_effort: Ratio of load capacitance to input
+                capacitance (h); fanout-of-4 by default.
+
+        Raises:
+            KeyError: for an unknown gate type.
+            ValueError: for a non-positive electrical effort.
+        """
+        if electrical_effort <= 0:
+            raise ValueError(f"electrical effort must be positive, got {electrical_effort}")
+        try:
+            logical_effort, parasitic = _GATE_TABLE[gate]
+        except KeyError:
+            known = ", ".join(sorted(_GATE_TABLE))
+            raise KeyError(f"unknown gate {gate!r} (known: {known})") from None
+        return self.tau_ps * (logical_effort * electrical_effort + parasitic)
+
+    def chain_delay_ps(self, gates: list[str], electrical_effort: float = 4.0) -> float:
+        """Delay of a chain of gate stages, each at the given effort."""
+        return sum(self.gate_delay_ps(g, electrical_effort) for g in gates)
+
+
+def fanout4_chain_delay(tech: Technology, stages: int) -> float:
+    """Delay of ``stages`` fanout-of-4 inverters, in picoseconds.
+
+    A common unit for expressing pipeline-stage depth.
+
+    Raises:
+        ValueError: if ``stages`` is negative.
+    """
+    if stages < 0:
+        raise ValueError(f"stage count must be non-negative, got {stages}")
+    return GateLibrary(tech).gate_delay_ps("inv", 4.0) * stages

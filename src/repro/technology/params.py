@@ -1,0 +1,114 @@
+"""Technology parameter database for the three studied feature sizes.
+
+The paper expresses all layout dimensions in lambda (half the feature
+size) so that a single layout can be shrunk across technologies.  Under
+its scaling model, wire delay per lambda**2 is constant across the three
+technologies (Section 4.4: "The delays are the same for the three
+technologies since wire delays are constant according to the scaling
+model assumed"), while logic delay shrinks with feature size.
+
+The product ``r_metal * c_metal`` is derived exactly from Table 1 of the
+paper: a 20500-lambda bypass wire has a distributed-RC delay of
+184.9 ps, so ``0.5 * R * C * L**2 = 184.9 ps`` gives
+``R * C = 2 * 184.9 / 20500**2`` ps per lambda**2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: ps/lambda^2 -- derived from Table 1 (see module docstring).
+_RC_PER_LAMBDA_SQ = 2.0 * 184.9 / (20500.0**2)
+
+#: Split of the RC product into separate R and C values.  Only the
+#: product matters for distributed-RC delay; the split is chosen to be
+#: representative of mid-1990s metal layers (about 0.03 ohm and
+#: 0.03 fF per lambda) while preserving the product exactly.
+_R_METAL_OHM_PER_LAMBDA = 0.0294
+_C_METAL_FF_PER_LAMBDA = 1e3 * _RC_PER_LAMBDA_SQ / _R_METAL_OHM_PER_LAMBDA
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A CMOS process technology point.
+
+    Attributes:
+        name: Human-readable identifier, e.g. ``"0.18um"``.
+        feature_size_um: Drawn feature size in micrometres.
+        logic_speed: Relative logic delay versus the 0.18 um process
+            (0.18 um == 1.0; larger is slower).  This is the generic
+            technology-wide factor; individual delay models calibrate
+            their own per-structure factors on top of it.
+    """
+
+    name: str
+    feature_size_um: float
+    logic_speed: float
+
+    @property
+    def lambda_um(self) -> float:
+        """Lambda (half the feature size) in micrometres."""
+        return self.feature_size_um / 2.0
+
+    @property
+    def r_metal_ohm_per_lambda(self) -> float:
+        """Metal wire resistance per lambda of length (ohms)."""
+        return _R_METAL_OHM_PER_LAMBDA
+
+    @property
+    def c_metal_ff_per_lambda(self) -> float:
+        """Metal wire parasitic capacitance per lambda of length (fF)."""
+        return _C_METAL_FF_PER_LAMBDA
+
+    @property
+    def rc_per_lambda_sq_ps(self) -> float:
+        """Distributed RC product in ps per lambda**2.
+
+        Constant across the three technologies under the paper's
+        scaling model.
+        """
+        return _RC_PER_LAMBDA_SQ
+
+    def scale_logic_delay(self, delay_at_018_ps: float) -> float:
+        """Scale a pure-logic delay quoted at 0.18 um to this process."""
+        return delay_at_018_ps * self.logic_speed
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# Generic logic-speed factors.  The paper's structures scale by factors
+# of roughly 4.4x-5.0x from 0.18 um to 0.8 um (e.g. rename delay for a
+# 4-wide machine is 351.0 ps at 0.18 um and 1577.9 ps at 0.8 um, a
+# factor of 4.50).  The generic factors below use the rename-logic
+# scaling, which tracks raw gate speed most closely; wakeup/select
+# models calibrate their own structure-specific factors.
+TECH_080 = Technology(name="0.8um", feature_size_um=0.80, logic_speed=1577.9 / 351.0)
+TECH_035 = Technology(name="0.35um", feature_size_um=0.35, logic_speed=627.2 / 351.0)
+TECH_018 = Technology(name="0.18um", feature_size_um=0.18, logic_speed=1.0)
+
+#: All technology points studied in the paper, largest feature first.
+TECHNOLOGIES: tuple[Technology, ...] = (TECH_080, TECH_035, TECH_018)
+
+#: Feature sizes in micrometres, largest first (paper ordering).
+FEATURE_SIZES_UM: tuple[float, ...] = tuple(t.feature_size_um for t in TECHNOLOGIES)
+
+_BY_FEATURE = {t.feature_size_um: t for t in TECHNOLOGIES}
+
+
+def technology_by_feature_size(feature_size_um: float) -> Technology:
+    """Look up one of the three studied technologies by feature size.
+
+    Args:
+        feature_size_um: 0.8, 0.35, or 0.18.
+
+    Raises:
+        KeyError: if the feature size is not one of the studied points.
+    """
+    try:
+        return _BY_FEATURE[feature_size_um]
+    except KeyError:
+        known = ", ".join(str(f) for f in FEATURE_SIZES_UM)
+        raise KeyError(
+            f"no technology with feature size {feature_size_um} um (known: {known})"
+        ) from None

@@ -1,0 +1,67 @@
+"""First-order wire delay models.
+
+The paper treats long result/tag wires as distributed RC lines:
+``delay = 0.5 * Rmetal * Cmetal * L**2`` for a wire of length ``L``
+(Section 4.4).  Shorter wires inside array structures contribute both a
+distributed-RC term and a lumped load on their drivers; the models in
+:mod:`repro.delay` account for the lumped part through their calibrated
+logic constants, so this module only needs the distributed term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.technology.params import Technology
+
+
+def distributed_rc_delay_ps(tech: Technology, length_lambda: float) -> float:
+    """Distributed-RC delay of a metal wire, in picoseconds.
+
+    Args:
+        tech: Process technology (the RC product is technology-invariant
+            under the paper's scaling model, but the signature keeps the
+            dependence explicit).
+        length_lambda: Wire length in lambda.
+
+    Returns:
+        ``0.5 * R * C * L**2`` in ps.
+
+    Raises:
+        ValueError: if ``length_lambda`` is negative.
+    """
+    if length_lambda < 0:
+        raise ValueError(f"wire length must be non-negative, got {length_lambda}")
+    return 0.5 * tech.rc_per_lambda_sq_ps * length_lambda**2
+
+
+@dataclass(frozen=True)
+class WireModel:
+    """A metal wire of a given length in a given technology.
+
+    Convenience wrapper over :func:`distributed_rc_delay_ps` that also
+    exposes total resistance and capacitance, which the delay models use
+    when a wire loads a logic stage rather than being driven end-to-end.
+    """
+
+    tech: Technology
+    length_lambda: float
+
+    def __post_init__(self) -> None:
+        if self.length_lambda < 0:
+            raise ValueError(f"wire length must be non-negative, got {self.length_lambda}")
+
+    @property
+    def resistance_ohm(self) -> float:
+        """Total wire resistance in ohms."""
+        return self.tech.r_metal_ohm_per_lambda * self.length_lambda
+
+    @property
+    def capacitance_ff(self) -> float:
+        """Total wire capacitance in femtofarads."""
+        return self.tech.c_metal_ff_per_lambda * self.length_lambda
+
+    @property
+    def distributed_delay_ps(self) -> float:
+        """Distributed-RC (end-to-end) delay in picoseconds."""
+        return distributed_rc_delay_ps(self.tech, self.length_lambda)

@@ -1,0 +1,68 @@
+"""Set-associative data-cache timing model (Table 3).
+
+Only timing matters to the simulator, so the cache tracks tags and LRU
+state, not data.  Write policy is write-back, write-allocate; the
+timing model charges loads the hit or miss latency and lets stores
+retire into a store buffer (their cache fill still happens, perturbing
+LRU state, but nothing waits on it).
+"""
+
+from __future__ import annotations
+
+from repro.uarch.config import CacheConfig
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over byte addresses."""
+
+    def __init__(self, config: CacheConfig | None = None):
+        self.config = config or CacheConfig()
+        self._offset_bits = self.config.line_bytes.bit_length() - 1
+        self._set_mask = self.config.sets - 1
+        # Per-set list of tags, most recently used last.
+        self._sets: list[list[int]] = [[] for _ in range(self.config.sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def _locate(self, address: int) -> tuple[list[int], int]:
+        line = address >> self._offset_bits
+        return self._sets[line & self._set_mask], line
+
+    def access(self, address: int) -> bool:
+        """Access (and allocate) the line holding ``address``.
+
+        Returns:
+            True on hit, False on miss.  Misses allocate the line,
+            evicting the LRU way if the set is full.
+        """
+        if address < 0:
+            raise ValueError(f"address must be non-negative, got {address}")
+        ways, tag = self._locate(address)
+        self.accesses += 1
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)  # move to MRU
+            return True
+        self.misses += 1
+        if len(ways) >= self.config.associativity:
+            ways.pop(0)  # evict LRU
+        ways.append(tag)
+        return False
+
+    def load_latency(self, address: int) -> int:
+        """Cycles a load at ``address`` takes (access + allocate)."""
+        if self.access(address):
+            return self.config.hit_cycles
+        return self.config.miss_cycles
+
+    def probe(self, address: int) -> bool:
+        """Check residency without touching LRU or stats."""
+        ways, tag = self._locate(address)
+        return tag in ways
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed (0 if no accesses)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses

@@ -1,0 +1,56 @@
+"""Register dependence precomputation over a dynamic trace.
+
+The trace is the committed instruction stream, so each source
+operand's producer is simply the most recent earlier instruction that
+wrote the register.  Producers and consumer lists are machine
+independent; they are computed once per trace and cached on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.emulator import Trace
+
+#: Producer seq meaning "value was available before the trace began".
+NO_PRODUCER = -1
+
+
+@dataclass
+class DependenceInfo:
+    """Per-instruction dependence structure of a trace.
+
+    Attributes:
+        producers: For instruction ``i``, a tuple of producer seq
+            numbers, one per source operand (:data:`NO_PRODUCER` when
+            the value predates the trace).  Duplicate producers are
+            kept -- an instruction reading the same register twice
+            still has one wakeup event per operand.
+        consumers: For instruction ``i``, the seqs of later
+            instructions with ``i`` as a producer (each consumer
+            listed once per dependent operand).
+    """
+
+    producers: list[tuple[int, ...]]
+    consumers: list[list[int]]
+
+
+def dependence_info(trace: Trace) -> DependenceInfo:
+    """Compute (and cache on the trace) its dependence structure."""
+    cached = getattr(trace, "_dependence_info", None)
+    if cached is not None:
+        return cached
+    last_writer: dict[int, int] = {}
+    producers: list[tuple[int, ...]] = []
+    consumers: list[list[int]] = [[] for _ in range(len(trace.insts))]
+    for inst in trace.insts:
+        inst_producers = tuple(last_writer.get(src, NO_PRODUCER) for src in inst.srcs)
+        producers.append(inst_producers)
+        for producer in inst_producers:
+            if producer != NO_PRODUCER:
+                consumers[producer].append(inst.seq)
+        if inst.dest is not None:
+            last_writer[inst.dest] = inst.seq
+    info = DependenceInfo(producers=producers, consumers=consumers)
+    trace._dependence_info = info  # cache for reuse across machines
+    return info

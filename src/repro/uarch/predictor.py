@@ -1,0 +1,61 @@
+"""McFarling gshare branch predictor (Table 3).
+
+4K 2-bit saturating counters indexed by the XOR of the branch PC and a
+12-bit global history register.  Unconditional control instructions
+are predicted perfectly by the fetch model and never consult this
+predictor.
+"""
+
+from __future__ import annotations
+
+from repro.uarch.config import PredictorConfig
+
+
+class GshareBranchPredictor:
+    """gshare: global history XOR PC indexing a 2-bit counter table."""
+
+    def __init__(self, config: PredictorConfig | None = None):
+        self.config = config or PredictorConfig()
+        self._counters = [self.config.initial_counter] * self.config.counters
+        self._history = 0
+        self._history_mask = (1 << self.config.history_bits) - 1
+        self._index_mask = self.config.counters - 1
+        self.lookups = 0
+        self.hits = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self._history) & self._index_mask
+
+    def predict(self, pc: int) -> bool:
+        """Predict a conditional branch at ``pc``; True = taken."""
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train on the resolved outcome and shift the history."""
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            self._counters[index] = min(3, counter + 1)
+        else:
+            self._counters[index] = max(0, counter - 1)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict, train, and record accuracy; returns the prediction.
+
+        This is the trace-driven fetch-stage idiom: the predictor is
+        consulted and immediately trained with the committed outcome.
+        """
+        prediction = self.predict(pc)
+        self.lookups += 1
+        if prediction == taken:
+            self.hits += 1
+        self.update(pc, taken)
+        return prediction
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of lookups predicted correctly (0 if none yet)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups

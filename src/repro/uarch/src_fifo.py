@@ -1,0 +1,103 @@
+"""The SRC_FIFO table (Section 5): the steering logic's hardware.
+
+The paper's steering logic does not search the FIFOs for an operand's
+producer; it keeps a table indexed by *logical register*:
+
+    SRC_FIFO(Ra) holds the identity of the FIFO buffer containing the
+    instruction that will write Ra; the entry is invalid once that
+    instruction has completed (the register has its value).
+
+The table is written at dispatch (the steered instruction's
+destination points at its FIFO) and invalidated at issue -- but only
+if the issuing instruction is still the *latest* writer of the
+register, which the table tracks with the writer's sequence number
+(the hardware equivalent is that a later rename of Ra simply
+overwrites the entry).
+
+The pipeline keeps an equivalent per-producer map (``fifo_of``); the
+test suite proves the two agree on every steering decision, which is
+exactly the property that lets the paper claim the SRC_FIFO table is
+"similar to the map table ... and can be accessed in parallel with
+the rename table".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import NUM_LOGICAL_REGS
+
+
+@dataclass(frozen=True)
+class SrcFifoEntry:
+    """One valid table entry."""
+
+    cluster: int
+    fifo: int
+    writer_seq: int  #: the pending writer this entry describes
+
+
+class SrcFifoTable:
+    """Logical-register -> FIFO table for dispatch steering."""
+
+    def __init__(self, logical_registers: int = NUM_LOGICAL_REGS):
+        if logical_registers < 1:
+            raise ValueError(
+                f"logical_registers must be >= 1, got {logical_registers}"
+            )
+        self.logical_registers = logical_registers
+        self._entries: list[SrcFifoEntry | None] = [None] * logical_registers
+
+    def _check(self, logical: int) -> None:
+        if not 0 <= logical < self.logical_registers:
+            raise ValueError(f"logical register {logical} out of range")
+
+    def lookup(self, logical: int) -> SrcFifoEntry | None:
+        """Where the pending writer of ``logical`` is buffered.
+
+        None means the register's value is (or will shortly be)
+        available from the register file -- no steering constraint.
+        """
+        self._check(logical)
+        return self._entries[logical]
+
+    def on_dispatch(
+        self, seq: int, dest: int | None, cluster: int, fifo: int | None
+    ) -> None:
+        """Record a dispatched instruction's destination mapping.
+
+        Instructions placed outside FIFOs (flexible windows) clear the
+        entry instead: the table only answers "which FIFO", and a
+        windowed producer imposes no FIFO-steering constraint.
+        """
+        if dest is None:
+            return
+        self._check(dest)
+        if fifo is None:
+            self._entries[dest] = None
+        else:
+            self._entries[dest] = SrcFifoEntry(
+                cluster=cluster, fifo=fifo, writer_seq=seq
+            )
+
+    def on_issue(self, seq: int, dest: int | None) -> None:
+        """Invalidate the entry when its writer leaves the FIFO --
+        unless a younger writer has already overwritten it."""
+        if dest is None:
+            return
+        self._check(dest)
+        entry = self._entries[dest]
+        if entry is not None and entry.writer_seq == seq:
+            self._entries[dest] = None
+
+    def valid_count(self) -> int:
+        """Number of valid entries (pending FIFO-resident writers)."""
+        return sum(1 for entry in self._entries if entry is not None)
+
+    def snapshot(self) -> dict[int, SrcFifoEntry]:
+        """Valid entries keyed by logical register."""
+        return {
+            logical: entry
+            for logical, entry in enumerate(self._entries)
+            if entry is not None
+        }

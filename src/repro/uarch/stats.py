@@ -1,0 +1,89 @@
+"""Simulation statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimStats:
+    """Counters and results from one timing-simulation run.
+
+    IPC is instructions *committed* per cycle, as in the paper's
+    figures.
+    """
+
+    machine: str = ""
+    workload: str = ""
+    committed: int = 0
+    cycles: int = 0
+    fetched: int = 0
+    branch_lookups: int = 0
+    branch_hits: int = 0
+    mispredicts: int = 0
+    cache_accesses: int = 0
+    cache_misses: int = 0
+    store_forwards: int = 0
+    #: Committed instructions that consumed at least one operand over
+    #: an inter-cluster bypass (Figure 17 bottom).
+    inter_cluster_bypasses: int = 0
+    #: Dispatch stall cycles by cause ("window_full", "no_fifo", ...).
+    dispatch_stalls: dict[str, int] = field(default_factory=dict)
+    #: Histogram of instructions issued per cycle.
+    issue_histogram: dict[int, int] = field(default_factory=dict)
+    #: Sum over cycles of buffered (window/FIFO) instructions.
+    occupancy_sum: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.committed / self.cycles
+
+    @property
+    def branch_accuracy(self) -> float:
+        """Conditional-branch prediction accuracy."""
+        if self.branch_lookups == 0:
+            return 0.0
+        return self.branch_hits / self.branch_lookups
+
+    @property
+    def cache_miss_rate(self) -> float:
+        """Data-cache miss rate."""
+        if self.cache_accesses == 0:
+            return 0.0
+        return self.cache_misses / self.cache_accesses
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Mean instructions buffered in the issue window/FIFOs."""
+        if self.cycles == 0:
+            return 0.0
+        return self.occupancy_sum / self.cycles
+
+    @property
+    def inter_cluster_bypass_frequency(self) -> float:
+        """Fraction of committed instructions using inter-cluster
+        bypasses (the paper's Figure 17 metric)."""
+        if self.committed == 0:
+            return 0.0
+        return self.inter_cluster_bypasses / self.committed
+
+    def note_stall(self, cause: str) -> None:
+        """Record one dispatch-stall cycle attributed to ``cause``."""
+        self.dispatch_stalls[cause] = self.dispatch_stalls.get(cause, 0) + 1
+
+    def note_issue(self, count: int) -> None:
+        """Record the number of instructions issued this cycle."""
+        self.issue_histogram[count] = self.issue_histogram.get(count, 0) + 1
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.machine} on {self.workload}: IPC={self.ipc:.3f} "
+            f"({self.committed} insts / {self.cycles} cycles, "
+            f"bpred={self.branch_accuracy * 100:.1f}%, "
+            f"dmiss={self.cache_miss_rate * 100:.1f}%, "
+            f"xbypass={self.inter_cluster_bypass_frequency * 100:.1f}%)"
+        )

@@ -1,0 +1,57 @@
+"""Deterministic input-data generation for the workload kernels.
+
+Every kernel embeds its input in the ``.data`` section at assembly
+time.  The bytes come from a fixed linear-congruential generator so
+that traces are bit-for-bit reproducible across runs and platforms
+without depending on Python's ``random`` module.
+"""
+
+from __future__ import annotations
+
+
+class Lcg:
+    """Numerical-Recipes-style 32-bit linear congruential generator."""
+
+    def __init__(self, seed: int):
+        self.state = seed & 0xFFFFFFFF
+
+    def next_u32(self) -> int:
+        """Next 32-bit value."""
+        self.state = (self.state * 1664525 + 1013904223) & 0xFFFFFFFF
+        return self.state
+
+    def next_below(self, bound: int) -> int:
+        """Uniform-ish value in [0, bound)."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return (self.next_u32() >> 8) % bound
+
+
+def words_directive(values: list[int], per_line: int = 12) -> str:
+    """Format a list of integers as ``.word`` directive lines."""
+    lines = []
+    for start in range(0, len(values), per_line):
+        chunk = values[start : start + per_line]
+        lines.append("    .word " + ", ".join(str(v) for v in chunk))
+    return "\n".join(lines)
+
+
+def skewed_bytes(count: int, seed: int, alphabet: int = 32) -> list[int]:
+    """A byte stream with repetition structure (compressible text-like).
+
+    Roughly half the bytes repeat a recent byte, giving LZW-style
+    kernels realistic hash-table hit behaviour.
+    """
+    rng = Lcg(seed)
+    history: list[int] = []
+    output: list[int] = []
+    for _ in range(count):
+        if history and rng.next_below(100) < 55:
+            value = history[rng.next_below(min(len(history), 8))]
+        else:
+            value = 1 + rng.next_below(alphabet)
+        output.append(value)
+        history.insert(0, value)
+        if len(history) > 8:
+            history.pop()
+    return output

@@ -1,0 +1,178 @@
+"""Parameterised synthetic trace generation.
+
+For controlled studies (and fast tests) it is useful to generate
+dynamic traces directly, with dialled-in dependence distance, branch
+behaviour, and memory mix, instead of running a real kernel.  The
+generator builds a static loop body whose slots have fixed classes and
+register dependences, then unrolls it dynamically with per-iteration
+branch outcomes -- so a gshare predictor and the steering heuristics
+see realistic, learnable structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.emulator import DynInst, Trace
+from repro.isa.instructions import OpClass
+from repro.workloads._datagen import Lcg
+
+#: Registers the generator cycles through for destinations.
+_DEST_REGS = tuple(range(1, 25))
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of a synthetic trace.
+
+    Attributes:
+        length: Dynamic instructions to generate.
+        body_size: Static loop-body slots (the PC footprint).
+        load_fraction: Fraction of slots that are loads.
+        store_fraction: Fraction of slots that are stores.
+        branch_fraction: Fraction of slots that are conditional
+            branches.
+        branch_taken_probability: Per-branch probability of being
+            taken each iteration; 0 or 1 makes branches perfectly
+            predictable, 0.5 makes them maximally unpredictable.
+        mean_dependence_distance: Average distance (in dynamic
+            instructions) to a source operand's producer; small values
+            make long serial chains.
+        memory_words: Size of the address pool touched by loads and
+            stores.
+        seed: Generator seed (traces are deterministic per seed).
+    """
+
+    length: int = 10_000
+    body_size: int = 64
+    load_fraction: float = 0.20
+    store_fraction: float = 0.10
+    branch_fraction: float = 0.15
+    branch_taken_probability: float = 0.6
+    mean_dependence_distance: float = 4.0
+    memory_words: int = 4096
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ValueError(f"length must be >= 0, got {self.length}")
+        if self.body_size < 2:
+            raise ValueError(f"body_size must be >= 2, got {self.body_size}")
+        fractions = self.load_fraction + self.store_fraction + self.branch_fraction
+        if not 0.0 <= fractions <= 1.0:
+            raise ValueError("class fractions must sum to within [0, 1]")
+        if not 0.0 <= self.branch_taken_probability <= 1.0:
+            raise ValueError("branch_taken_probability must be a probability")
+        if self.mean_dependence_distance < 1.0:
+            raise ValueError("mean_dependence_distance must be >= 1")
+        if self.memory_words < 1:
+            raise ValueError("memory_words must be >= 1")
+
+
+def _pick_class(rng: Lcg, config: SyntheticConfig) -> OpClass:
+    roll = rng.next_below(1000) / 1000.0
+    if roll < config.load_fraction:
+        return OpClass.LOAD
+    roll -= config.load_fraction
+    if roll < config.store_fraction:
+        return OpClass.STORE
+    roll -= config.store_fraction
+    if roll < config.branch_fraction:
+        return OpClass.BRANCH
+    return OpClass.IALU
+
+
+def _geometric(rng: Lcg, mean: float) -> int:
+    """Geometric-ish positive distance with the given mean."""
+    if mean <= 1.0:
+        return 1
+    success = 1.0 / mean
+    distance = 1
+    while rng.next_below(10_000) / 10_000.0 > success and distance < 64:
+        distance += 1
+    return distance
+
+
+def synthetic_trace(config: SyntheticConfig) -> Trace:
+    """Generate a synthetic dynamic :class:`Trace` from a config."""
+    rng = Lcg(config.seed)
+    # ---- static loop body ---------------------------------------------
+    classes = [_pick_class(rng, config) for _ in range(config.body_size)]
+    classes[-1] = OpClass.BRANCH  # loop-closing backward branch
+    # Per-slot branch bias: individual branches lean taken or not, so a
+    # history predictor has something to learn when the global
+    # probability is not extreme.
+    biases = []
+    for op_class in classes:
+        if op_class is OpClass.BRANCH:
+            base = config.branch_taken_probability
+            lean = (rng.next_below(400) - 200) / 1000.0  # +-0.2
+            biases.append(min(0.98, max(0.02, base + lean)))
+        else:
+            biases.append(0.0)
+    # ---- dynamic unroll --------------------------------------------------
+    insts: list[DynInst] = []
+    recent_dests: list[int] = []  # architectural dests, most recent last
+    dest_cursor = 0
+    pc = 0
+    for seq in range(config.length):
+        op_class = classes[pc]
+        # Source operands: reference recent producers at geometric
+        # distances (this is what sets the trace's ILP).
+        srcs = []
+        for _operand in range(2 if op_class is not OpClass.LOAD else 1):
+            if recent_dests:
+                distance = _geometric(rng, config.mean_dependence_distance)
+                index = max(0, len(recent_dests) - distance)
+                srcs.append(recent_dests[index])
+        dest = None
+        if op_class in (OpClass.IALU, OpClass.LOAD):
+            dest = _DEST_REGS[dest_cursor % len(_DEST_REGS)]
+            dest_cursor += 1
+        mem_addr = None
+        if op_class in (OpClass.LOAD, OpClass.STORE):
+            mem_addr = 4 * rng.next_below(config.memory_words)
+        taken = False
+        next_pc = pc + 1
+        is_branch = op_class is OpClass.BRANCH
+        if is_branch:
+            taken = rng.next_below(10_000) / 10_000.0 < biases[pc]
+            if pc == config.body_size - 1:
+                taken = True  # the loop branch always closes the loop
+                next_pc = 0
+            elif taken:
+                # Mid-body branches skip forward a couple of slots
+                # (if-shaped control flow), keeping the dynamic class
+                # mix close to the configured static mix.
+                next_pc = pc + 2 + rng.next_below(3)
+        if next_pc >= config.body_size:
+            next_pc = 0
+        opcode = {
+            OpClass.IALU: "addu",
+            OpClass.LOAD: "lw",
+            OpClass.STORE: "sw",
+            OpClass.BRANCH: "bne",
+        }[op_class]
+        insts.append(
+            DynInst(
+                seq=seq,
+                pc=pc,
+                opcode=opcode,
+                op_class=op_class,
+                srcs=tuple(srcs),
+                dest=dest,
+                mem_addr=mem_addr,
+                is_store=op_class is OpClass.STORE,
+                is_load=op_class is OpClass.LOAD,
+                is_branch=is_branch,
+                is_uncond=False,
+                taken=taken,
+                next_pc=next_pc,
+            )
+        )
+        if dest is not None:
+            recent_dests.append(dest)
+            if len(recent_dests) > 64:
+                recent_dests.pop(0)
+        pc = next_pc
+    return Trace(insts=insts, halted=False, name=f"synthetic(seed={config.seed})")

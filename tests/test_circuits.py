@@ -1,0 +1,167 @@
+"""Tests for repro.circuits: RAM, CAM, arbiter, and datapath geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuits import (
+    ArbiterTree,
+    BypassDatapath,
+    CamGeometry,
+    RamGeometry,
+    bypass_path_count,
+    rename_map_table_geometry,
+    selection_tree,
+    wakeup_array_geometry,
+)
+
+
+class TestRamGeometry:
+    def test_rename_port_counts(self):
+        geometry = rename_map_table_geometry(4)
+        # Two source reads and one destination write per instruction.
+        assert geometry.read_ports == 8
+        assert geometry.write_ports == 4
+        assert geometry.ports == 12
+
+    def test_rows_are_logical_registers(self):
+        assert rename_map_table_geometry(4, logical_registers=32).rows == 32
+
+    def test_entry_width_is_designator_bits(self):
+        # 120 physical registers need a 7-bit designator.
+        assert rename_map_table_geometry(4, physical_registers=120).bits == 7
+        assert rename_map_table_geometry(4, physical_registers=128).bits == 7
+        assert rename_map_table_geometry(4, physical_registers=129).bits == 8
+
+    def test_cells_grow_with_ports(self):
+        narrow = rename_map_table_geometry(2)
+        wide = rename_map_table_geometry(8)
+        assert wide.cell_width_lambda > narrow.cell_width_lambda
+        assert wide.cell_height_lambda > narrow.cell_height_lambda
+
+    def test_bitlines_longer_than_wordlines(self):
+        # 32 rows of cells vs. a 7-bit-wide entry: the paper notes the
+        # bitlines are longer, which is why their delay grows faster.
+        geometry = rename_map_table_geometry(4)
+        assert geometry.bitline_length_lambda > geometry.wordline_length_lambda
+
+    def test_decoder_fanin(self):
+        assert rename_map_table_geometry(4, logical_registers=32).decoder_fanin == 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            rename_map_table_geometry(0)
+        with pytest.raises(ValueError):
+            rename_map_table_geometry(4, logical_registers=1)
+        with pytest.raises(ValueError):
+            RamGeometry(rows=0, bits=8, read_ports=1, write_ports=1)
+
+    @given(st.integers(min_value=1, max_value=16))
+    def test_wire_lengths_monotone_in_issue_width(self, issue_width):
+        a = rename_map_table_geometry(issue_width)
+        b = rename_map_table_geometry(issue_width + 1)
+        assert b.wordline_length_lambda > a.wordline_length_lambda
+        assert b.bitline_length_lambda > a.bitline_length_lambda
+
+
+class TestCamGeometry:
+    def test_comparators_per_entry(self):
+        # 2 operand tags x IW result tags.
+        assert wakeup_array_geometry(8, 64).comparators_per_entry == 16
+
+    def test_total_comparators(self):
+        geometry = wakeup_array_geometry(4, 32)
+        assert geometry.total_comparators == 8 * 32
+
+    def test_tag_bits_from_physical_registers(self):
+        assert wakeup_array_geometry(4, 32, physical_registers=120).tag_bits == 7
+        assert wakeup_array_geometry(4, 32, physical_registers=80).tag_bits == 7
+
+    def test_tagline_spans_window(self):
+        small = wakeup_array_geometry(4, 16)
+        large = wakeup_array_geometry(4, 64)
+        assert large.tagline_length_lambda == pytest.approx(
+            4 * small.tagline_length_lambda
+        )
+
+    def test_entries_taller_with_issue_width(self):
+        assert (
+            wakeup_array_geometry(8, 32).entry_height_lambda
+            > wakeup_array_geometry(2, 32).entry_height_lambda
+        )
+
+    def test_matchline_grows_with_issue_width(self):
+        assert (
+            wakeup_array_geometry(8, 32).matchline_length_lambda
+            > wakeup_array_geometry(2, 32).matchline_length_lambda
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CamGeometry(window_size=0, issue_width=4)
+        with pytest.raises(ValueError):
+            CamGeometry(window_size=32, issue_width=0)
+        with pytest.raises(ValueError):
+            CamGeometry(window_size=32, issue_width=4, tag_bits=0)
+
+
+class TestArbiterTree:
+    @pytest.mark.parametrize(
+        "window,levels",
+        [(1, 1), (4, 1), (5, 2), (16, 2), (17, 3), (32, 3), (64, 3), (65, 4), (128, 4)],
+    )
+    def test_levels(self, window, levels):
+        assert selection_tree(window).levels == levels
+
+    def test_same_depth_32_and_64(self):
+        # This is why the same selection delay applies to both Table 2
+        # design points (32- and 64-entry windows).
+        assert selection_tree(32).levels == selection_tree(64).levels
+
+    def test_cell_count_64(self):
+        # 16 leaf cells + 4 + 1 root.
+        assert selection_tree(64).cell_count == 21
+
+    def test_cell_count_one_entry(self):
+        assert selection_tree(1).cell_count == 1
+
+    def test_hops_equal_levels(self):
+        tree = selection_tree(64)
+        assert tree.request_hops() == tree.levels
+        assert tree.grant_hops() == tree.levels
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            ArbiterTree(window_size=0)
+
+    @given(st.integers(min_value=1, max_value=4096))
+    def test_levels_cover_window(self, window):
+        tree = selection_tree(window)
+        assert 4**tree.levels >= window
+
+
+class TestBypassDatapath:
+    def test_table1_wire_lengths(self):
+        # Exact reproduction of Table 1's wire lengths.
+        assert BypassDatapath(4).result_wire_length_lambda == pytest.approx(20500.0)
+        assert BypassDatapath(8).result_wire_length_lambda == pytest.approx(49000.0)
+
+    def test_path_count_quadratic(self):
+        # 2 * IW^2 * S bypass paths.
+        assert bypass_path_count(4, 1) == 32
+        assert bypass_path_count(8, 1) == 128
+        assert bypass_path_count(8, 3) == 384
+
+    def test_fu_height_grows_with_issue_width(self):
+        assert BypassDatapath(8).fu_height_lambda > BypassDatapath(4).fu_height_lambda
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BypassDatapath(0)
+        with pytest.raises(ValueError):
+            BypassDatapath(4, pipe_stages_after_result=0)
+
+    @given(st.integers(min_value=1, max_value=32))
+    def test_wire_length_superlinear(self, issue_width):
+        narrow = BypassDatapath(issue_width).result_wire_length_lambda
+        wide = BypassDatapath(2 * issue_width).result_wire_length_lambda
+        assert wide > 2 * narrow

@@ -1,0 +1,326 @@
+"""Tests for repro.delay: the Section 4 delay models against the paper.
+
+The hard anchors (Tables 1, 2, 4 and the derived Section 5 ratios) must
+reproduce to tight tolerances; figure-derived shape claims are checked
+with looser bands.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.delay import (
+    BypassDelayModel,
+    RenameDelayModel,
+    ReservationTableDelayModel,
+    SelectionDelayModel,
+    WakeupDelayModel,
+)
+from repro.delay.calibration import TABLE2_PS
+from repro.delay.summary import (
+    clock_ratio_dependence_based,
+    dependence_based_window_logic,
+    max_clock_improvement_4way,
+    overall_delays,
+    window_logic_delay,
+)
+from repro.technology import TECH_018, TECH_035, TECH_080, TECHNOLOGIES, technology_by_feature_size
+
+DESIGN_POINTS = [(4, 32), (8, 64)]
+
+
+def tech_named(name):
+    return {t.name: t for t in TECHNOLOGIES}[name]
+
+
+class TestTable2Anchors:
+    """Table 2 must reproduce at all six design points."""
+
+    @pytest.mark.parametrize("tech_name", list(TABLE2_PS))
+    @pytest.mark.parametrize("point", DESIGN_POINTS)
+    def test_rename(self, tech_name, point):
+        expected = TABLE2_PS[tech_name][point][0]
+        model = RenameDelayModel(tech_named(tech_name))
+        assert model.total(point[0]) == pytest.approx(expected, rel=0.005)
+
+    @pytest.mark.parametrize("tech_name", list(TABLE2_PS))
+    @pytest.mark.parametrize("point", DESIGN_POINTS)
+    def test_window_logic(self, tech_name, point):
+        expected = TABLE2_PS[tech_name][point][1]
+        measured = window_logic_delay(tech_named(tech_name), *point)
+        assert measured == pytest.approx(expected, rel=0.005)
+
+    @pytest.mark.parametrize("tech_name", list(TABLE2_PS))
+    @pytest.mark.parametrize("point", DESIGN_POINTS)
+    def test_bypass(self, tech_name, point):
+        expected = TABLE2_PS[tech_name][point][2]
+        model = BypassDelayModel(tech_named(tech_name))
+        assert model.total(point[0]) == pytest.approx(expected, rel=0.005)
+
+    def test_summary_critical_path_8way(self):
+        # At 8-way/64 in 0.18um the bypass delay (1056 ps) exceeds the
+        # window logic (724 ps) -- the paper's headline observation.
+        summary = overall_delays(TECH_018, 8, 64)
+        assert summary.critical_path_ps == pytest.approx(summary.bypass_ps)
+        assert summary.bypass_ps > summary.window_logic_ps
+
+    def test_summary_critical_path_4way(self):
+        # At 4-way/32 the window logic dominates.
+        summary = overall_delays(TECH_018, 4, 32)
+        assert summary.critical_path_ps == pytest.approx(summary.window_logic_ps)
+
+
+class TestRenameModel:
+    def test_linear_growth_with_issue_width(self):
+        model = RenameDelayModel(TECH_018)
+        deltas = [model.total(i + 1) - model.total(i) for i in range(2, 12)]
+        assert all(d >= 0 for d in deltas)
+        # Effectively linear: successive increments vary slowly.
+        assert max(deltas) < 2.5 * min(deltas) + 1e-9
+
+    def test_components_sum_to_total(self):
+        model = RenameDelayModel(TECH_035)
+        for issue_width in (2, 4, 8):
+            parts = model.components(issue_width)
+            assert sum(parts.values()) == pytest.approx(model.total(issue_width))
+
+    def test_component_names(self):
+        parts = RenameDelayModel(TECH_018).components(4)
+        assert set(parts) == {"decoder", "wordline", "bitline", "senseamp"}
+
+    def test_bitline_grows_faster_than_wordline(self):
+        # Figure 3: bitline delay increases faster with issue width.
+        model = RenameDelayModel(TECH_080)
+        at2, at8 = model.components(2), model.components(8)
+        bitline_growth = at8["bitline"] - at2["bitline"]
+        wordline_growth = at8["wordline"] - at2["wordline"]
+        assert bitline_growth > wordline_growth
+
+    def test_bitline_growth_fraction_band(self):
+        # Section 4.1.3: bitline delay grows ~37% (0.8um) to ~53%
+        # (0.18um) from 2-way to 8-way.  Allow a generous band.
+        for tech, low, high in [(TECH_080, 0.15, 0.60), (TECH_018, 0.25, 0.80)]:
+            model = RenameDelayModel(tech)
+            growth = model.components(8)["bitline"] / model.components(2)["bitline"] - 1
+            assert low < growth < high
+
+    def test_faster_technology_is_faster(self):
+        for issue_width in (2, 4, 8):
+            d = [RenameDelayModel(t).total(issue_width) for t in TECHNOLOGIES]
+            assert d[0] > d[1] > d[2]
+
+    def test_rejects_bad_issue_width(self):
+        model = RenameDelayModel(TECH_018)
+        with pytest.raises(ValueError):
+            model.total(0)
+        with pytest.raises(TypeError):
+            model.total(2.5)  # type: ignore[arg-type]
+
+    def test_geometry_accessor(self):
+        geometry = RenameDelayModel(TECH_018).geometry(4)
+        assert geometry.read_ports == 8
+
+    @given(st.integers(min_value=1, max_value=32))
+    def test_monotone_in_issue_width(self, issue_width):
+        model = RenameDelayModel(TECH_018)
+        assert model.total(issue_width + 1) >= model.total(issue_width)
+
+
+class TestWakeupModel:
+    def test_growth_bands_at_64_entries(self):
+        # Section 4.2.3: ~34% from 2- to 4-way, ~46% from 4- to 8-way.
+        model = WakeupDelayModel(TECH_018)
+        growth_2_4 = model.total(4, 64) / model.total(2, 64) - 1
+        growth_4_8 = model.total(8, 64) / model.total(4, 64) - 1
+        assert 0.15 < growth_2_4 < 0.50
+        assert 0.30 < growth_4_8 < 0.65
+
+    def test_quadratic_window_dependence_8way(self):
+        # Figure 5: visible quadratic curvature for 8-way.
+        model = WakeupDelayModel(TECH_018)
+        d8, d16 = model.total(8, 8), model.total(8, 16)
+        d32, d64 = model.total(8, 32), model.total(8, 64)
+        assert (d64 - d32) > (d16 - d8)
+
+    def test_issue_width_affects_more_than_window(self):
+        # Section 4.2.3: issue width increases all three components,
+        # window size only tag drive.
+        model = WakeupDelayModel(TECH_018)
+        widen = model.total(8, 32) - model.total(4, 32)
+        enlarge = model.total(4, 64) - model.total(4, 32)
+        assert widen > enlarge
+
+    def test_components_sum_to_total(self):
+        model = WakeupDelayModel(TECH_080)
+        parts = model.components(8, 64)
+        assert sum(parts.values()) == pytest.approx(model.total(8, 64))
+        assert set(parts) == {"tag_drive", "tag_match", "match_or"}
+
+    def test_wire_fraction_rises_with_smaller_feature(self):
+        # Figure 6: tag drive + match fraction 52% -> 65%.
+        frac_080 = WakeupDelayModel(TECH_080).wire_fraction(8, 64)
+        frac_018 = WakeupDelayModel(TECH_018).wire_fraction(8, 64)
+        assert frac_018 > frac_080
+        assert frac_080 == pytest.approx(0.52, abs=0.08)
+        assert frac_018 == pytest.approx(0.65, abs=0.05)
+
+    def test_rejects_bad_parameters(self):
+        model = WakeupDelayModel(TECH_018)
+        with pytest.raises(ValueError):
+            model.total(0, 32)
+        with pytest.raises(ValueError):
+            model.total(4, 0)
+
+    def test_geometry_accessor(self):
+        geometry = WakeupDelayModel(TECH_018).geometry(8, 64)
+        assert geometry.window_size == 64
+
+    @settings(max_examples=50)
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=2, max_value=256),
+    )
+    def test_monotone_in_both_parameters(self, issue_width, window_size):
+        for tech in TECHNOLOGIES:
+            model = WakeupDelayModel(tech)
+            base = model.total(issue_width, window_size)
+            assert model.total(issue_width + 1, window_size) >= base
+            assert model.total(issue_width, window_size + 8) >= base
+
+
+class TestSelectionModel:
+    def test_same_delay_32_and_64(self):
+        model = SelectionDelayModel(TECH_018)
+        assert model.total(32) == pytest.approx(model.total(64))
+
+    def test_step_increase_under_100_percent(self):
+        # Figure 8: 16 -> 32 and 64 -> 128 grow by less than 2x.
+        for tech in TECHNOLOGIES:
+            model = SelectionDelayModel(tech)
+            assert model.total(32) < 2 * model.total(16)
+            assert model.total(128) < 2 * model.total(64)
+
+    def test_logarithmic_growth(self):
+        model = SelectionDelayModel(TECH_018)
+        assert model.total(256) - model.total(64) == pytest.approx(
+            model.total(64) - model.total(16)
+        )
+
+    def test_components_sum_to_total(self):
+        model = SelectionDelayModel(TECH_035)
+        parts = model.components(64)
+        assert sum(parts.values()) == pytest.approx(model.total(64))
+        assert set(parts) == {"request_propagation", "root", "grant_propagation"}
+
+    def test_root_delay_independent_of_window(self):
+        model = SelectionDelayModel(TECH_018)
+        assert model.components(16)["root"] == model.components(128)["root"]
+
+    def test_scales_with_technology(self):
+        delays = [SelectionDelayModel(t).total(64) for t in TECHNOLOGIES]
+        assert delays[0] > delays[1] > delays[2]
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            SelectionDelayModel(TECH_018).total(0)
+
+    @given(st.integers(min_value=1, max_value=1024))
+    def test_monotone_in_window(self, window):
+        model = SelectionDelayModel(TECH_018)
+        assert model.total(window + 1) >= model.total(window)
+
+
+class TestBypassModel:
+    def test_table1_exact(self):
+        model = BypassDelayModel(TECH_018)
+        assert model.total(4) == pytest.approx(184.9, abs=0.05)
+        assert model.total(8) == pytest.approx(1056.4, abs=0.1)
+        assert model.wire_length_lambda(4) == pytest.approx(20500.0)
+        assert model.wire_length_lambda(8) == pytest.approx(49000.0)
+
+    def test_technology_invariant(self):
+        # Wire delays are constant under the paper's scaling model.
+        delays = {BypassDelayModel(t).total(8) for t in TECHNOLOGIES}
+        assert len({round(d, 6) for d in delays}) == 1
+
+    def test_grows_faster_than_quadratic(self):
+        model = BypassDelayModel(TECH_018)
+        assert model.total(8) > 4 * model.total(4)
+
+    def test_path_count(self):
+        assert BypassDelayModel(TECH_018).path_count(8) == 128
+        assert BypassDelayModel(TECH_018, pipe_stages_after_result=2).path_count(8) == 256
+
+    def test_rejects_bad_issue_width(self):
+        with pytest.raises(ValueError):
+            BypassDelayModel(TECH_018).total(0)
+
+    @given(st.integers(min_value=1, max_value=32))
+    def test_monotone(self, issue_width):
+        model = BypassDelayModel(TECH_018)
+        assert model.total(issue_width + 1) > model.total(issue_width)
+
+
+class TestReservationTableModel:
+    def test_table4_exact(self):
+        model = ReservationTableDelayModel(TECH_018)
+        assert model.total(4, physical_registers=80) == pytest.approx(192.1, abs=0.05)
+        assert model.total(8, physical_registers=128) == pytest.approx(251.7, abs=0.05)
+
+    def test_entry_organisation(self):
+        assert ReservationTableDelayModel.entries(80) == 10
+        assert ReservationTableDelayModel.entries(128) == 16
+        assert ReservationTableDelayModel.entries(120) == 15
+
+    def test_much_faster_than_window_wakeup(self):
+        # Section 5.3: reservation-table wakeup beats even a 4-way,
+        # 32-entry window's wakeup delay.
+        reservation = ReservationTableDelayModel(TECH_018).total(8, 128)
+        window_wakeup = WakeupDelayModel(TECH_018).total(4, 32)
+        assert reservation > 0
+        assert reservation < window_wakeup + SelectionDelayModel(TECH_018).total(32)
+
+    def test_faster_than_rename(self):
+        # Section 5.3: "this delay is smaller than the corresponding
+        # register renaming delay."
+        for issue_width, regs in [(4, 80), (8, 128)]:
+            reservation = ReservationTableDelayModel(TECH_018).total(issue_width, regs)
+            rename = RenameDelayModel(TECH_018).total(issue_width)
+            assert reservation < rename
+
+    def test_scales_with_technology(self):
+        delays = [ReservationTableDelayModel(t).total(8, 128) for t in TECHNOLOGIES]
+        assert delays[0] > delays[1] > delays[2]
+
+    def test_rejects_bad_registers(self):
+        with pytest.raises(ValueError):
+            ReservationTableDelayModel.entries(0)
+
+
+class TestSummary:
+    def test_clock_ratio_25_percent(self):
+        # Section 5.5: f_dep / f_window ~ 1.25 at 0.18 um.
+        ratio = clock_ratio_dependence_based(TECH_018)
+        assert ratio == pytest.approx(724.0 / 578.0, rel=0.01)
+        assert ratio == pytest.approx(1.25, abs=0.02)
+
+    def test_max_clock_improvement_39_percent(self):
+        # Section 5.3: rename becomes critical -> up to ~39% improvement.
+        assert max_clock_improvement_4way(TECH_018) == pytest.approx(0.39, abs=0.02)
+
+    def test_dependence_based_window_logic_much_faster(self):
+        dep = dependence_based_window_logic(
+            TECH_018, issue_width=8, physical_registers=128, fifo_count=8
+        )
+        conventional = window_logic_delay(TECH_018, 8, 64)
+        assert dep < conventional
+
+    def test_overall_delays_container(self):
+        summary = overall_delays(TECH_018, 8, 64)
+        assert summary.issue_width == 8
+        assert summary.window_size == 64
+        assert summary.window_logic_ps == pytest.approx(
+            summary.wakeup_ps + summary.select_ps
+        )
+
+    def test_lookup_by_feature(self):
+        assert technology_by_feature_size(0.18).name == "0.18um"

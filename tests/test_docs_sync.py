@@ -1,0 +1,87 @@
+"""Documentation-sync checks: the docs must match the code."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.isa.instructions import OPCODES
+from repro.workloads import WORKLOAD_NAMES
+
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+ROOT = DOCS.parent
+
+
+@pytest.fixture(scope="module")
+def isa_doc():
+    return (DOCS / "isa.md").read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def design_doc():
+    return (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def readme():
+    return (ROOT / "README.md").read_text(encoding="utf-8")
+
+
+class TestIsaDoc:
+    def test_every_opcode_documented(self, isa_doc):
+        missing = [name for name in OPCODES if f"`{name}`" not in isa_doc]
+        assert not missing, f"opcodes missing from docs/isa.md: {missing}"
+
+    def test_no_phantom_opcodes(self, isa_doc):
+        # Every table row's first cell must be a real opcode (or the
+        # documented pseudo 'la').
+        for line in isa_doc.splitlines():
+            if not line.startswith("| `"):
+                continue
+            name = line.split("`")[1]
+            assert name in OPCODES or name == "la", f"phantom opcode {name!r}"
+
+    def test_register_conventions_documented(self, isa_doc):
+        assert "r0" in isa_doc
+        assert "$sp" in isa_doc
+
+
+class TestDesignDoc:
+    def test_every_workload_listed(self, design_doc):
+        for name in WORKLOAD_NAMES:
+            assert name in design_doc
+
+    def test_every_figure_and_table_indexed(self, design_doc):
+        for item in ("Fig 3", "Fig 5", "Fig 6", "Fig 8", "Fig 10", "Fig 13",
+                     "Fig 15", "Fig 17", "Table 1", "Table 2", "Table 4"):
+            assert item in design_doc, f"{item} missing from DESIGN.md"
+
+    def test_substitutions_documented(self, design_doc):
+        assert "Hspice" in design_doc
+        assert "SPEC" in design_doc
+
+    def test_every_bench_file_exists(self, design_doc):
+        for line in design_doc.splitlines():
+            if "benchmarks/bench_" not in line:
+                continue
+            for token in line.split("`"):
+                if token.startswith("benchmarks/bench_"):
+                    assert (ROOT / token).exists(), f"{token} referenced but missing"
+
+
+class TestReadme:
+    def test_mentions_paper(self, readme):
+        assert "Palacharla" in readme
+        assert "ISCA 1997" in readme
+
+    def test_install_and_test_commands(self, readme):
+        assert "pip install -e ." in readme
+        assert "pytest benchmarks/ --benchmark-only" in readme
+
+    def test_every_example_listed(self, readme):
+        for script in sorted((ROOT / "examples").glob("*.py")):
+            assert script.name in readme, f"{script.name} missing from README"
+
+    def test_architecture_sections_match_packages(self, readme):
+        for package in ("technology", "circuits", "delay", "isa", "workloads",
+                        "uarch", "analysis", "report", "core"):
+            assert f"{package}/" in readme

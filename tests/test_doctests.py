@@ -1,0 +1,32 @@
+"""Run the executable examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.delay.bypass
+import repro.delay.rename
+import repro.delay.rename_cam
+import repro.delay.regfile
+import repro.delay.reservation
+import repro.delay.select
+import repro.delay.wakeup
+import repro.delay.cache_access
+
+MODULES = [
+    repro.delay.bypass,
+    repro.delay.rename,
+    repro.delay.rename_cam,
+    repro.delay.regfile,
+    repro.delay.reservation,
+    repro.delay.select,
+    repro.delay.wakeup,
+    repro.delay.cache_access,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

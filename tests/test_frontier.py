@@ -1,0 +1,90 @@
+"""Tests for the complexity-effectiveness frontier."""
+
+import pytest
+
+from repro.core.frontier import (
+    FrontierPoint,
+    conventional_clock_ps,
+    conventional_frontier,
+    dependence_based_point,
+    dependence_clock_ps,
+    format_frontier,
+    issue_width_frontier,
+)
+from repro.technology import TECH_018, TECHNOLOGIES
+
+
+class TestClockModels:
+    def test_conventional_clock_monotone_in_window(self):
+        clocks = [conventional_clock_ps(TECH_018, 8, w) for w in (8, 16, 32, 64, 128)]
+        assert clocks == sorted(clocks)
+
+    def test_conventional_clock_matches_table2(self):
+        # At 8-way/64 the window logic (724 ps) dominates rename.
+        assert conventional_clock_ps(TECH_018, 8, 64) == pytest.approx(724.0, abs=1.0)
+
+    def test_rename_floor(self):
+        # For tiny windows the clock is bounded by rename, not window
+        # logic going to zero.
+        clock = conventional_clock_ps(TECH_018, 8, 2)
+        assert clock >= 427.0  # 8-way rename delay
+
+    def test_dependence_clock_beats_conventional(self):
+        for tech in TECHNOLOGIES:
+            assert dependence_clock_ps(tech, 8) < conventional_clock_ps(tech, 8, 64)
+
+    def test_dependence_clock_floor_is_rename(self):
+        # Section 5.3: once window logic shrinks, rename is critical.
+        clock = dependence_clock_ps(TECH_018, 8)
+        assert clock >= 427.0
+
+
+class TestFrontierPoint:
+    def test_bips_math(self):
+        point = FrontierPoint(label="x", window_size=64, mean_ipc=2.0, clock_ps=500.0)
+        assert point.frequency_ghz == pytest.approx(2.0)
+        assert point.bips == pytest.approx(4.0)
+
+    def test_format(self):
+        point = FrontierPoint(label="w64", window_size=64, mean_ipc=2.0, clock_ps=500.0)
+        text = format_frontier([point])
+        assert "w64" in text
+        assert "BIPS" in text
+
+
+class TestFrontierSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        workloads = ("compress", "li")
+        points = conventional_frontier(
+            window_sizes=(8, 32, 128),
+            workloads=workloads,
+            max_instructions=2_000,
+        )
+        dep = dependence_based_point(workloads=workloads, max_instructions=2_000)
+        return points, dep
+
+    def test_ipc_grows_with_window(self, sweep):
+        points, _dep = sweep
+        assert points[-1].mean_ipc >= points[0].mean_ipc - 0.02
+
+    def test_clock_slows_with_window(self, sweep):
+        points, _dep = sweep
+        clocks = [p.clock_ps for p in points]
+        assert clocks == sorted(clocks)
+
+    def test_dependence_point_faster_clock_than_big_windows(self, sweep):
+        points, dep = sweep
+        assert dep.clock_ps < points[-1].clock_ps
+        assert dep.mean_ipc > 0
+
+    def test_issue_width_frontier(self):
+        points = issue_width_frontier(
+            issue_widths=(2, 4), workloads=("gcc",), max_instructions=2_000
+        )
+        assert [p.label for p in points] == ["2-way/16", "4-way/32"]
+        # Wider issue: more IPC, slower window logic.
+        assert points[1].mean_ipc >= points[0].mean_ipc - 0.02
+        assert points[1].clock_ps > points[0].clock_ps
+        # The 4-way clock matches Table 2's 4-way/32 window logic.
+        assert points[1].clock_ps == pytest.approx(578.0, abs=1.0)

@@ -1,0 +1,66 @@
+"""Golden regression pins.
+
+These tests pin exact simulator outputs for fixed (machine, workload,
+length) triples.  The simulator is deterministic, so any change to
+these values means pipeline behaviour changed -- which must be a
+deliberate, reviewed decision (update the constants *and* re-record
+EXPERIMENTS.md).  Tolerances are tight but non-zero so that pure
+refactors (e.g. float vs int cycle bookkeeping) do not trip them.
+"""
+
+import pytest
+
+from repro.core.machines import (
+    baseline_8way,
+    clustered_dependence_8way,
+    clustered_random_8way,
+    dependence_based_8way,
+)
+from repro.uarch.pipeline import simulate
+from repro.workloads import get_trace
+
+LENGTH = 4_000
+
+#: (machine factory, workload) -> recorded IPC at LENGTH instructions.
+GOLDEN_IPC = {
+    ("baseline", "compress"): 2.384,
+    ("baseline", "gcc"): 3.306,
+    ("baseline", "li"): 1.951,
+    ("baseline", "m88ksim"): 3.711,
+    ("dependence", "compress"): 2.247,
+    ("dependence", "li"): 1.951,
+    ("clustered", "m88ksim"): 3.215,
+    ("random", "m88ksim"): 2.471,
+}
+
+FACTORIES = {
+    "baseline": baseline_8way,
+    "dependence": dependence_based_8way,
+    "clustered": clustered_dependence_8way,
+    "random": clustered_random_8way,
+}
+
+
+@pytest.mark.parametrize("machine,workload", sorted(GOLDEN_IPC))
+def test_golden_ipc(machine, workload):
+    stats = simulate(FACTORIES[machine](), get_trace(workload, LENGTH))
+    assert stats.ipc == pytest.approx(GOLDEN_IPC[(machine, workload)], abs=0.02), (
+        f"pipeline behaviour changed for {machine}/{workload}: "
+        f"IPC {stats.ipc:.3f} vs recorded {GOLDEN_IPC[(machine, workload)]:.3f}"
+    )
+
+
+def test_golden_branch_accuracy():
+    stats = simulate(baseline_8way(), get_trace("gcc", LENGTH))
+    assert stats.branch_accuracy == pytest.approx(0.87, abs=0.04)
+
+
+def test_golden_cache_miss_rate():
+    stats = simulate(baseline_8way(), get_trace("compress", LENGTH))
+    assert 0.05 < stats.cache_miss_rate < 0.45
+
+
+def test_golden_occupancy_sane():
+    stats = simulate(baseline_8way(), get_trace("go", LENGTH))
+    # A 64-entry window on a high-ILP workload runs partly full.
+    assert 2.0 < stats.mean_occupancy < 64.0

@@ -1,0 +1,261 @@
+"""Tests for the instruction set and assembler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    FP_REG_BASE,
+    AssemblerError,
+    Instruction,
+    OpClass,
+    OPCODES,
+    assemble,
+    reg_name,
+)
+from repro.isa.assembler import DATA_BASE
+
+
+class TestInstruction:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError, match="unknown opcode"):
+            Instruction(opcode="frobnicate")
+
+    def test_register_range_checked(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Instruction(opcode="addu", dest=64, srcs=(1, 2))
+
+    def test_op_class(self):
+        assert Instruction(opcode="lw", dest=1, srcs=(2,), imm=0).op_class is OpClass.LOAD
+
+    def test_str_roundtrips_register_names(self):
+        inst = Instruction(opcode="addu", dest=1, srcs=(2, 3))
+        assert str(inst) == "addu r1, r2, r3"
+
+    def test_reg_name(self):
+        assert reg_name(0) == "r0"
+        assert reg_name(31) == "r31"
+        assert reg_name(FP_REG_BASE) == "f0"
+        assert reg_name(FP_REG_BASE + 5) == "f5"
+        with pytest.raises(ValueError):
+            reg_name(64)
+
+    def test_every_opcode_has_description(self):
+        for name, info in OPCODES.items():
+            assert info.name == name
+            assert info.description or name in ("nop",)
+
+
+class TestAssemblerBasics:
+    def test_simple_program(self):
+        program = assemble("main: li r1, 5\nhalt\n")
+        assert len(program) == 2
+        assert program.entry_point == 0
+        assert program.instructions[0].opcode == "li"
+        assert program.instructions[0].imm == 5
+
+    def test_comments_and_blank_lines(self):
+        program = assemble(
+            """
+            # full-line comment
+            li r1, 1   # trailing comment
+            ; alt comment style
+            halt
+            """
+        )
+        assert len(program) == 2
+
+    def test_labels_resolve_forward_and_backward(self):
+        program = assemble(
+            """
+            main: b fwd
+            back: halt
+            fwd:  b back
+            """
+        )
+        assert program.instructions[0].target == 2
+        assert program.instructions[2].target == 1
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(AssemblerError, match="unknown label"):
+            assemble("b nowhere\n")
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(AssemblerError, match="unknown opcode"):
+            assemble("explode r1, r2, r3\n")
+
+    def test_wrong_operand_count_raises(self):
+        with pytest.raises(AssemblerError, match="expects"):
+            assemble("addu r1, r2\n")
+
+    def test_duplicate_label_raises(self):
+        with pytest.raises(AssemblerError, match="duplicate label"):
+            assemble("x: nop\nx: nop\n")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("nop\nnop\nbogus r1\n")
+
+    def test_entry_point_defaults_to_zero_without_main(self):
+        program = assemble("nop\nhalt\n")
+        assert program.entry_point == 0
+
+    def test_entry_point_is_main(self):
+        program = assemble("setup: nop\nmain: halt\n")
+        assert program.entry_point == 1
+
+
+class TestRegisterSyntax:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("r4", 4),
+            ("$4", 4),
+            ("$t0", 8),
+            ("$sp", 29),
+            ("$ra", 31),
+            ("$zero", 0),
+            ("f2", FP_REG_BASE + 2),
+            ("$f31", FP_REG_BASE + 31),
+        ],
+    )
+    def test_register_spellings(self, text, expected):
+        program = assemble(f"move r1, {text}\nhalt\n")
+        assert program.instructions[0].srcs == (expected,)
+
+    def test_bad_register_raises(self):
+        with pytest.raises(AssemblerError, match="out of range"):
+            assemble("move r1, r99\n")
+        with pytest.raises(AssemblerError, match="bad register"):
+            assemble("move r1, qq\n")
+
+    def test_bad_immediate_raises(self):
+        with pytest.raises(AssemblerError, match="bad immediate"):
+            assemble("li r1, banana\n")
+
+    def test_hex_and_negative_immediates(self):
+        program = assemble("li r1, 0x10\nli r2, -32768\nhalt\n")
+        assert program.instructions[0].imm == 16
+        assert program.instructions[1].imm == -32768
+
+
+class TestMemoryOperands:
+    def test_load_shape(self):
+        program = assemble("lw r1, 8(r2)\nhalt\n")
+        inst = program.instructions[0]
+        assert inst.dest == 1
+        assert inst.srcs == (2,)
+        assert inst.imm == 8
+
+    def test_store_shape(self):
+        program = assemble("sw r1, -4(r2)\nhalt\n")
+        inst = program.instructions[0]
+        assert inst.dest is None
+        assert inst.srcs == (1, 2)  # (value, base)
+        assert inst.imm == -4
+
+    def test_empty_offset_defaults_to_zero(self):
+        program = assemble("lw r1, (r2)\nhalt\n")
+        assert program.instructions[0].imm == 0
+
+    def test_bad_address_operand(self):
+        with pytest.raises(AssemblerError, match="bad address"):
+            assemble("lw r1, r2\n")
+
+
+class TestDataSection:
+    def test_word_directive_little_endian(self):
+        program = assemble(
+            """
+            .data
+            x: .word 0x01020304
+            .text
+            halt
+            """
+        )
+        assert program.data_labels["x"] == DATA_BASE
+        assert program.data_image[DATA_BASE] == 0x04
+        assert program.data_image[DATA_BASE + 3] == 0x01
+
+    def test_space_reserves_without_init(self):
+        program = assemble(
+            """
+            .data
+            buf: .space 16
+            after: .word 1
+            .text
+            halt
+            """
+        )
+        assert program.data_labels["after"] == DATA_BASE + 16
+        assert DATA_BASE not in program.data_image
+
+    def test_asciiz(self):
+        program = assemble('.data\ns: .asciiz "ab"\n.text\nhalt\n')
+        base = program.data_labels["s"]
+        assert program.data_image[base] == ord("a")
+        assert program.data_image[base + 2] == 0
+
+    def test_align(self):
+        program = assemble(
+            """
+            .data
+            a: .byte 1
+            .align 2
+            b: .word 2
+            .text
+            halt
+            """
+        )
+        assert program.data_labels["b"] % 4 == 0
+
+    def test_la_pseudo(self):
+        program = assemble(
+            """
+            .data
+            spot: .word 7
+            .text
+            main: la r1, spot
+            halt
+            """
+        )
+        assert program.instructions[0].opcode == "li"
+        assert program.instructions[0].imm == DATA_BASE
+
+    def test_la_unknown_label(self):
+        with pytest.raises(AssemblerError, match="unknown data label"):
+            assemble("la r1, nothing\nhalt\n")
+
+    def test_instruction_in_data_section_raises(self):
+        with pytest.raises(AssemblerError, match="instruction in .data"):
+            assemble(".data\nnop\n")
+
+    def test_directive_in_text_raises(self):
+        with pytest.raises(AssemblerError, match="outside .data"):
+            assemble(".word 1\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblerError, match="unknown directive"):
+            assemble(".data\n.quadword 1\n")
+
+
+class TestLinkage:
+    def test_jal_writes_link_register(self):
+        program = assemble("main: jal sub\nhalt\nsub: jr $ra\n")
+        assert program.instructions[0].dest == 31
+        assert program.instructions[2].srcs == (31,)
+
+    def test_jalr_writes_link_register(self):
+        program = assemble("jalr r5\nhalt\n")
+        assert program.instructions[0].dest == 31
+
+    def test_disassemble_contains_labels(self):
+        program = assemble("main: nop\nloop: b loop\n")
+        listing = program.disassemble()
+        assert "main:" in listing
+        assert "loop:" in listing
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_immediate_roundtrip(value):
+    program = assemble(f"li r1, {value}\nhalt\n")
+    assert program.instructions[0].imm == value

@@ -1,0 +1,154 @@
+"""Tests for binary instruction encoding and the object-file format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import Emulator, assemble
+from repro.isa.encoding import (
+    MAGIC,
+    OPCODE_NUMBERS,
+    RECORD_SIZE,
+    EncodingError,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+from repro.isa.instructions import Instruction, OPCODES
+from repro.workloads import WORKLOAD_NAMES, build_program
+
+
+class TestInstructionRoundtrip:
+    def test_simple(self):
+        inst = Instruction(opcode="addu", dest=1, srcs=(2, 3))
+        assert decode_instruction(encode_instruction(inst)) == inst
+
+    def test_immediate(self):
+        inst = Instruction(opcode="addiu", dest=1, srcs=(2,), imm=-32768)
+        clone = decode_instruction(encode_instruction(inst))
+        assert clone.imm == -32768
+
+    def test_zero_immediate_is_preserved(self):
+        # imm=0 must not decode as "no immediate".
+        inst = Instruction(opcode="lw", dest=1, srcs=(2,), imm=0)
+        assert decode_instruction(encode_instruction(inst)).imm == 0
+
+    def test_branch_target(self):
+        inst = Instruction(opcode="beq", srcs=(1, 2), target=7, label="x")
+        clone = decode_instruction(encode_instruction(inst))
+        assert clone.target == 7
+        assert clone.label == "@7"
+
+    def test_target_zero_preserved(self):
+        inst = Instruction(opcode="b", target=0, label="top")
+        assert decode_instruction(encode_instruction(inst)).target == 0
+
+    def test_no_dest_encodes(self):
+        inst = Instruction(opcode="sw", srcs=(1, 2), imm=4)
+        clone = decode_instruction(encode_instruction(inst))
+        assert clone.dest is None
+
+    def test_record_size(self):
+        assert len(encode_instruction(Instruction(opcode="nop"))) == RECORD_SIZE
+
+    def test_bad_record_size_raises(self):
+        with pytest.raises(EncodingError, match="bytes"):
+            decode_instruction(b"\x00" * 7)
+
+    def test_unknown_opcode_number_raises(self):
+        blob = bytearray(encode_instruction(Instruction(opcode="nop")))
+        blob[0] = 0xFE
+        with pytest.raises(EncodingError, match="unknown opcode"):
+            decode_instruction(bytes(blob))
+
+    def test_oversized_immediate_raises(self):
+        inst = Instruction(opcode="li", dest=1, imm=2**40)
+        with pytest.raises(EncodingError, match="32 bits"):
+            encode_instruction(inst)
+
+    def test_opcode_numbering_is_stable_and_total(self):
+        assert set(OPCODE_NUMBERS) == set(OPCODES)
+        assert len(set(OPCODE_NUMBERS.values())) == len(OPCODES)
+
+    @given(
+        st.sampled_from(sorted(OPCODES)),
+        st.integers(min_value=0, max_value=63),
+        st.lists(st.integers(min_value=0, max_value=63), max_size=2),
+        st.one_of(st.none(), st.integers(min_value=-(2**31), max_value=2**31 - 1)),
+    )
+    def test_roundtrip_property(self, opcode, dest, srcs, imm):
+        inst = Instruction(opcode=opcode, dest=dest, srcs=tuple(srcs), imm=imm)
+        clone = decode_instruction(encode_instruction(inst))
+        assert clone.opcode == inst.opcode
+        assert clone.dest == inst.dest
+        assert clone.srcs == inst.srcs
+        assert clone.imm == inst.imm
+
+
+class TestProgramRoundtrip:
+    SOURCE = """
+        .data
+        table: .word 1, 2, 3
+        gap:   .space 100
+        more:  .word 9
+        .text
+        main:  la r1, table
+        li r2, 3
+        li r3, 0
+        loop:  lw r4, 0(r1)
+        addu r3, r3, r4
+        addiu r1, r1, 4
+        addiu r2, r2, -1
+        bgtz r2, loop
+        halt
+    """
+
+    def test_roundtrip_preserves_semantics(self):
+        program = assemble(self.SOURCE)
+        clone = decode_program(encode_program(program))
+        original = Emulator(program)
+        original.run()
+        replay = Emulator(clone)
+        replay.run()
+        assert replay.int_regs == original.int_regs
+
+    def test_roundtrip_preserves_structure(self):
+        program = assemble(self.SOURCE)
+        clone = decode_program(encode_program(program))
+        assert len(clone) == len(program)
+        assert clone.entry_point == program.entry_point
+        assert clone.data_image == program.data_image
+        for a, b in zip(program.instructions, clone.instructions):
+            assert (a.opcode, a.dest, a.srcs, a.imm, a.target) == (
+                b.opcode, b.dest, b.srcs, b.imm, b.target
+            )
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_all_workloads_roundtrip(self, name):
+        program = build_program(name)
+        clone = decode_program(encode_program(program))
+        assert len(clone) == len(program)
+        assert clone.data_image == program.data_image
+
+    def test_sparse_data_segments(self):
+        program = assemble(self.SOURCE)
+        blob = encode_program(program)
+        # The 100-byte .space gap must not be materialised.
+        clone = decode_program(blob)
+        data_ranges = sorted(clone.data_image)
+        assert len(data_ranges) == 16  # 4 words
+
+    def test_bad_magic(self):
+        blob = bytearray(encode_program(assemble("halt\n")))
+        blob[0:4] = b"ELF\x7f"
+        with pytest.raises(EncodingError, match="bad magic"):
+            decode_program(bytes(blob))
+
+    def test_truncated_blob(self):
+        blob = encode_program(assemble("nop\nnop\nhalt\n"))
+        with pytest.raises(EncodingError):
+            decode_program(blob[: len(blob) - 3])
+
+    def test_too_short_for_header(self):
+        with pytest.raises(EncodingError, match="too short"):
+            decode_program(MAGIC)

@@ -1,0 +1,364 @@
+"""Tests for the Mini compiler: lexer, parser, codegen, and
+differential execution against a Python reference."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Emulator
+from repro.lang import CompileError, compile_source, compile_to_assembly, parse, tokenize
+from repro.lang import ast_nodes as ast
+
+
+def run_main(source, max_instructions=500_000):
+    emulator = Emulator(compile_source(source))
+    emulator.run(max_instructions=max_instructions)
+    assert emulator.halted, "program did not halt"
+    return emulator.int_regs[2]
+
+
+class TestLexer:
+    def test_tokens(self):
+        tokens = tokenize("func main() { return 1+2; }")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] == "keyword"
+        assert kinds[-1] == "eof"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("var x; # a comment\nvar y;")
+        assert sum(1 for t in tokens if t.kind == "keyword") == 2
+
+    def test_line_numbers(self):
+        tokens = tokenize("var x;\nvar y;")
+        assert tokens[0].line == 1
+        assert tokens[3].line == 2
+
+    def test_multichar_operators(self):
+        texts = [t.text for t in tokenize("a << b >= c != d")]
+        assert "<<" in texts
+        assert ">=" in texts
+        assert "!=" in texts
+
+    def test_hex_numbers(self):
+        tokens = tokenize("x = 0x1F;")
+        assert any(t.text == "0x1F" for t in tokens)
+
+    def test_bad_character(self):
+        with pytest.raises(CompileError, match="unexpected character"):
+            tokenize("x = @;")
+
+
+class TestParser:
+    def test_module_shape(self):
+        module = parse("var g; array a[8]; func main() { return 0; }")
+        assert len(module.globals) == 1
+        assert module.arrays[0].size == 8
+        assert module.functions[0].name == "main"
+
+    def test_precedence(self):
+        module = parse("func main() { return 1 + 2 * 3; }")
+        expr = module.functions[0].body[0].value
+        assert isinstance(expr, ast.Binary)
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_else_if_chains(self):
+        module = parse(
+            "func main() { if (1) { return 1; } else if (2) { return 2; } "
+            "else { return 3; } }"
+        )
+        outer = module.functions[0].body[0]
+        assert isinstance(outer.else_body[0], ast.If)
+
+    def test_parse_errors(self):
+        for source, pattern in [
+            ("func main() { return 1 }", "expected"),
+            ("func main( { }", "expected"),
+            ("banana;", "expected declaration"),
+            ("func f(a, b, c, d, e) { }", "max 4"),
+            ("func f(a, a) { }", "duplicate parameter"),
+            ("array a[0];", "out of range"),
+            ("func main() { 1 = 2; }", "assignment target"),
+        ]:
+            with pytest.raises(CompileError, match=pattern):
+                parse(source)
+
+    def test_error_carries_line(self):
+        with pytest.raises(CompileError, match="line 2"):
+            parse("var x;\nbanana;")
+
+
+class TestSemantics:
+    def test_undefined_variable(self):
+        with pytest.raises(CompileError, match="undefined variable"):
+            compile_to_assembly("func main() { return nope; }")
+
+    def test_undefined_function(self):
+        with pytest.raises(CompileError, match="undefined function"):
+            compile_to_assembly("func main() { return nope(); }")
+
+    def test_undefined_array(self):
+        with pytest.raises(CompileError, match="undefined array"):
+            compile_to_assembly("func main() { return a[0]; }")
+
+    def test_arity_checked(self):
+        with pytest.raises(CompileError, match="expects 2 arguments"):
+            compile_to_assembly(
+                "func f(a, b) { return a; } func main() { return f(1); }"
+            )
+
+    def test_main_required(self):
+        with pytest.raises(CompileError, match="'main'"):
+            compile_to_assembly("func helper() { return 1; }")
+
+    def test_main_takes_no_params(self):
+        with pytest.raises(CompileError, match="no parameters"):
+            compile_to_assembly("func main(x) { return x; }")
+
+    def test_duplicate_global(self):
+        with pytest.raises(CompileError, match="duplicate global"):
+            compile_to_assembly("var x; var x; func main() { return 0; }")
+
+    def test_duplicate_local(self):
+        with pytest.raises(CompileError, match="duplicate local"):
+            compile_to_assembly("func main() { var x; var x; return 0; }")
+
+
+class TestExecution:
+    def test_arithmetic(self):
+        assert run_main("func main() { return 2 + 3 * 4 - 6 / 2; }") == 11
+
+    def test_truncating_division(self):
+        assert run_main("func main() { return (0 - 7) / 2; }") == -3
+        assert run_main("func main() { return (0 - 7) % 2; }") == -1
+
+    def test_comparisons(self):
+        source = """
+        func main() {
+            return (1 < 2) + (2 <= 2) + (3 > 2) + (2 >= 3) + (1 == 1) + (1 != 1);
+        }
+        """
+        assert run_main(source) == 4
+
+    def test_shifts_and_bitwise(self):
+        assert run_main("func main() { return (1 << 5) | (255 & 12) ^ 1; }") == 45
+
+    def test_while_loop(self):
+        source = """
+        func main() {
+            var i; var s;
+            i = 0; s = 0;
+            while (i < 10) { s = s + i; i = i + 1; }
+            return s;
+        }
+        """
+        assert run_main(source) == 45
+
+    def test_if_else(self):
+        source = """
+        func main() {
+            var x;
+            if (3 > 2) { x = 10; } else { x = 20; }
+            if (3 < 2) { x = x + 1; } else { x = x + 2; }
+            return x;
+        }
+        """
+        assert run_main(source) == 12
+
+    def test_globals_persist_across_calls(self):
+        source = """
+        var counter;
+        func bump() { counter = counter + 1; return 0; }
+        func main() { bump(); bump(); bump(); return counter; }
+        """
+        assert run_main(source) == 3
+
+    def test_arrays(self):
+        source = """
+        array a[16];
+        func main() {
+            var i;
+            i = 0;
+            while (i < 16) { a[i] = i * 2; i = i + 1; }
+            return a[3] + a[15];
+        }
+        """
+        assert run_main(source) == 36
+
+    def test_recursion(self):
+        source = """
+        func fib(n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        func main() { return fib(12); }
+        """
+        assert run_main(source) == 144
+
+    def test_gcd(self):
+        source = """
+        func gcd(a, b) {
+            while (b != 0) { var t; t = b; b = a % b; a = t; }
+            return a;
+        }
+        func main() { return gcd(1071, 462); }
+        """
+        assert run_main(source) == 21
+
+    def test_call_inside_expression_preserves_temps(self):
+        # The call's spill/restore must keep the live temporary (100).
+        source = """
+        func id(x) { return x; }
+        func main() { return 100 + id(23); }
+        """
+        assert run_main(source) == 123
+
+    def test_nested_calls(self):
+        source = """
+        func add(a, b) { return a + b; }
+        func main() { return add(add(1, 2), add(3, add(4, 5))); }
+        """
+        assert run_main(source) == 15
+
+    def test_four_arguments(self):
+        source = """
+        func weave(a, b, c, d) { return a * 1000 + b * 100 + c * 10 + d; }
+        func main() { return weave(1, 2, 3, 4); }
+        """
+        assert run_main(source) == 1234
+
+    def test_falling_off_end_returns_zero(self):
+        assert run_main("var g; func main() { g = 7; }") == 0
+
+    def test_unary_minus(self):
+        assert run_main("func main() { return -5 + 8; }") == 3
+
+    def test_logical_and_or(self):
+        source = """
+        func main() {
+            return (1 && 2) * 1000 + (0 && 2) * 100 + (0 || 3) * 10 + (0 || 0);
+        }
+        """
+        assert run_main(source) == 1010
+
+    def test_short_circuit_skips_side_effects(self):
+        source = """
+        var touched;
+        func touch() { touched = touched + 1; return 1; }
+        func main() {
+            var a;
+            a = 0 && touch();   # touch must NOT run
+            a = 1 || touch();   # touch must NOT run
+            a = 1 && touch();   # touch runs
+            return touched;
+        }
+        """
+        assert run_main(source) == 1
+
+    def test_logical_not(self):
+        assert run_main("func main() { return !0 * 10 + !5; }") == 10
+
+    def test_break_and_continue(self):
+        source = """
+        func main() {
+            var i; var s;
+            i = 0; s = 0;
+            while (1) {
+                i = i + 1;
+                if (i > 10) { break; }
+                if (i % 2 == 0) { continue; }
+                s = s + i;          # odd numbers 1..9
+            }
+            return s;
+        }
+        """
+        assert run_main(source) == 25
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(CompileError, match="outside a loop"):
+            compile_to_assembly("func main() { break; }")
+
+    def test_continue_outside_loop_rejected(self):
+        with pytest.raises(CompileError, match="outside a loop"):
+            compile_to_assembly("func main() { continue; }")
+
+    def test_precedence_of_logical_operators(self):
+        # && binds tighter than ||, both looser than comparison.
+        assert run_main("func main() { return 1 || 0 && 0; }") == 1
+        assert run_main("func main() { return (1 || 0) && 0; }") == 0
+        assert run_main("func main() { return 2 < 3 && 3 < 2 || 1; }") == 1
+
+    def test_sieve_of_eratosthenes(self):
+        source = """
+        array sieve[100];
+        func main() {
+            var i; var j; var count;
+            i = 2;
+            while (i < 100) {
+                if (sieve[i] == 0) {
+                    j = i + i;
+                    while (j < 100) { sieve[j] = 1; j = j + i; }
+                }
+                i = i + 1;
+            }
+            count = 0; i = 2;
+            while (i < 100) {
+                if (sieve[i] == 0) { count = count + 1; }
+                i = i + 1;
+            }
+            return count;
+        }
+        """
+        assert run_main(source) == 25  # primes below 100
+
+
+def _c_eval(node):
+    """Reference evaluation with C/ISA semantics (truncating division)."""
+    if isinstance(node, int):
+        return node
+    op, left, right = node
+    a, b = _c_eval(left), _c_eval(right)
+    if op == "/":
+        return int(a / b) if b else 0
+    if op == "%":
+        return a - int(a / b) * b if b else 0
+    return {
+        "+": a + b, "-": a - b, "*": a * b,
+        "&": a & b, "|": a | b, "^": a ^ b,
+    }[op]
+
+
+def _render(node):
+    if isinstance(node, int):
+        return f"({node})" if node < 0 else str(node)
+    op, left, right = node
+    return f"({_render(left)} {op} {_render(right)})"
+
+
+_EXPR = st.recursive(
+    st.integers(min_value=-100, max_value=100),
+    lambda children: st.tuples(
+        st.sampled_from("+-*/%&|^"), children, children
+    ),
+    max_leaves=12,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_EXPR)
+def test_differential_expressions(tree):
+    """Property: compiled expression evaluation matches a C-semantics
+    reference, for arbitrary expression trees."""
+    expected = _c_eval(tree)
+    if not -(2**31) <= expected < 2**31:
+        return  # stay inside 32-bit behaviour
+    # Intermediate overflow can also wrap; rule it out conservatively.
+    def bounded(node):
+        if isinstance(node, int):
+            return True
+        value = _c_eval(node)
+        return -(2**31) < value < 2**31 and bounded(node[1]) and bounded(node[2])
+
+    if not bounded(tree):
+        return
+    result = run_main(f"func main() {{ return {_render(tree)}; }}")
+    assert result == expected

@@ -1,0 +1,67 @@
+"""Tests for the Section 4.5/5.3 pipelining analysis."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.delay.pipelining import (
+    STAGE_OVERHEAD_FRACTION,
+    conventional_plan,
+    dependence_based_plan,
+    pipelining_plan,
+    stages_required,
+)
+from repro.technology import TECH_018, TECHNOLOGIES
+
+
+class TestStagesRequired:
+    def test_fits_in_one_stage(self):
+        assert stages_required(100.0, 500.0) == 1
+
+    def test_boundary_with_overhead(self):
+        usable = 500.0 * (1 - STAGE_OVERHEAD_FRACTION)
+        assert stages_required(usable, 500.0) == 1
+        assert stages_required(usable + 0.1, 500.0) == 2
+
+    def test_deep_pipelining(self):
+        assert stages_required(2000.0, 500.0) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stages_required(0.0, 500.0)
+        with pytest.raises(ValueError):
+            stages_required(100.0, 0.0)
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e5),
+        st.floats(min_value=10.0, max_value=1e4),
+    )
+    def test_coverage_property(self, delay, clock):
+        stages = stages_required(delay, clock)
+        usable = clock * (1 - STAGE_OVERHEAD_FRACTION)
+        # The chosen depth covers the delay; one fewer would not.
+        assert stages * usable >= delay - 1e-6
+        if stages > 1:
+            assert (stages - 1) * usable < delay
+
+
+class TestPlans:
+    def test_dependence_clock_needs_deeper_pipes(self):
+        for tech in TECHNOLOGIES:
+            conventional = conventional_plan(tech)
+            dependence = dependence_based_plan(tech)
+            assert dependence.clock_ps < conventional.clock_ps
+            assert dependence.regfile_stages >= conventional.regfile_stages
+
+    def test_rename_fits_at_018(self):
+        # Section 5.3: rename (427.9 ps at 8-way) fits a 522 ps clock.
+        plan = dependence_based_plan(TECH_018)
+        assert plan.rename_stages == 1
+
+    def test_plan_formatting(self):
+        text = dependence_based_plan(TECH_018).format_report()
+        assert "register file" in text
+        assert "stage(s)" in text
+
+    def test_custom_clock(self):
+        plan = pipelining_plan(TECH_018, clock_ps=300.0)
+        assert plan.rename_stages >= 2  # 8-way rename is 427.9 ps

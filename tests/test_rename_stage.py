@@ -1,0 +1,167 @@
+"""Tests for the functional register-rename stage."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.uarch.rename import (
+    OutOfPhysicalRegisters,
+    RegisterRenamer,
+    RenamedInstruction,
+)
+
+
+def make(physical=80, logical=32):
+    return RegisterRenamer(physical_registers=physical, logical_registers=logical)
+
+
+class TestBasics:
+    def test_power_on_identity_map(self):
+        renamer = make()
+        assert renamer.lookup(0) == 0
+        assert renamer.lookup(31) == 31
+        assert renamer.free_count == 80 - 32
+
+    def test_needs_more_physical_than_logical(self):
+        with pytest.raises(ValueError, match="more physical"):
+            RegisterRenamer(physical_registers=32, logical_registers=32)
+
+    def test_lookup_range_checked(self):
+        with pytest.raises(ValueError, match="out of range"):
+            make().lookup(32)
+
+    def test_rename_allocates_new_register(self):
+        renamer = make()
+        [result] = renamer.rename_group([((1, 2), 3)])
+        assert result.phys_dest is not None
+        assert result.phys_dest >= 32  # from the free list
+        assert renamer.lookup(3) == result.phys_dest
+        assert result.prev_dest == 3  # power-on mapping, freed at commit
+
+    def test_sources_read_current_map(self):
+        renamer = make()
+        [first] = renamer.rename_group([((), 5)])
+        [second] = renamer.rename_group([((5,), None)])
+        assert second.phys_srcs == (first.phys_dest,)
+        assert second.phys_dest is None
+
+
+class TestDependenceCheck:
+    """The intra-group bypass the paper's SLICE logic implements."""
+
+    def test_same_group_dependence_bypasses_map_table(self):
+        renamer = make()
+        results = renamer.rename_group([((), 1), ((1,), 2)])
+        assert results[1].phys_srcs == (results[0].phys_dest,)
+        assert results[1].group_bypassed == (True,)
+
+    def test_unrelated_source_not_bypassed(self):
+        renamer = make()
+        results = renamer.rename_group([((), 1), ((3,), 2)])
+        assert results[1].group_bypassed == (False,)
+        assert results[1].phys_srcs == (3,)
+
+    def test_latest_writer_in_group_wins(self):
+        renamer = make()
+        results = renamer.rename_group([((), 1), ((), 1), ((1,), 2)])
+        assert results[2].phys_srcs == (results[1].phys_dest,)
+        assert results[1].phys_dest != results[0].phys_dest
+
+    def test_group_writer_chain_prev_dest(self):
+        renamer = make()
+        results = renamer.rename_group([((), 1), ((), 1)])
+        # The second writer frees the first writer's register.
+        assert results[1].prev_dest == results[0].phys_dest
+
+    def test_map_table_updated_after_group(self):
+        renamer = make()
+        results = renamer.rename_group([((), 1), ((), 1)])
+        assert renamer.lookup(1) == results[1].phys_dest
+
+
+class TestFreeListDiscipline:
+    def test_stall_when_out_of_registers(self):
+        renamer = make(physical=34)  # only 2 free
+        renamer.rename_group([((), 1), ((), 2)])
+        with pytest.raises(OutOfPhysicalRegisters):
+            renamer.rename_group([((), 3)])
+
+    def test_failed_group_leaves_state_unchanged(self):
+        renamer = make(physical=34)
+        before = renamer.live_mappings()
+        with pytest.raises(OutOfPhysicalRegisters):
+            renamer.rename_group([((), 1), ((), 2), ((), 3)])
+        assert renamer.live_mappings() == before
+        assert renamer.free_count == 2
+
+    def test_release_returns_register(self):
+        renamer = make(physical=34)
+        [result] = renamer.rename_group([((), 1)])
+        renamer.release(result.prev_dest)
+        assert renamer.free_count == 2
+
+    def test_double_release_rejected(self):
+        renamer = make()
+        [result] = renamer.rename_group([((), 1)])
+        renamer.release(result.prev_dest)
+        with pytest.raises(ValueError, match="double release"):
+            renamer.release(result.prev_dest)
+
+    def test_release_range_checked(self):
+        with pytest.raises(ValueError, match="out of range"):
+            make().release(200)
+
+    def test_commit_cycle_sustains_forever(self):
+        # rename -> commit -> release, repeated far beyond the free
+        # list size: no leak, no double allocation.
+        renamer = make(physical=40)
+        live = []
+        for step in range(500):
+            [result] = renamer.rename_group([(((step % 32),), step % 32)])
+            live.append(result)
+            if len(live) > 4:
+                renamer.release(live.pop(0).prev_dest)
+        assert renamer.free_count >= 0
+
+
+class TestInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(
+        st.tuples(
+            st.lists(st.integers(min_value=0, max_value=31), max_size=2),
+            st.one_of(st.none(), st.integers(min_value=0, max_value=31)),
+        ),
+        max_size=8,
+    ))
+    def test_no_two_live_logicals_share_a_physical(self, raw_group):
+        renamer = make()
+        group = [(tuple(srcs), dest) for srcs, dest in raw_group]
+        try:
+            renamer.rename_group(group)
+        except OutOfPhysicalRegisters:
+            return
+        mappings = list(renamer.live_mappings().values())
+        assert len(mappings) == len(set(mappings))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=31), st.integers(min_value=1, max_value=30))
+    def test_consumer_always_sees_latest_value(self, reg, rounds):
+        renamer = make(physical=120)
+        last_dest = None
+        released = []
+        for _ in range(rounds):
+            [write] = renamer.rename_group([((), reg)])
+            if last_dest is not None:
+                released.append(write.prev_dest)
+            last_dest = write.phys_dest
+            [read] = renamer.rename_group([((reg,), None)])
+            assert read.phys_srcs == (last_dest,)
+            # recycle old registers to keep the free list healthy
+            while released:
+                renamer.release(released.pop())
+
+    def test_renamed_instruction_is_frozen(self):
+        result = RenamedInstruction(
+            phys_srcs=(1,), phys_dest=2, prev_dest=3, group_bypassed=(False,)
+        )
+        with pytest.raises(Exception):
+            result.phys_dest = 9  # type: ignore[misc]

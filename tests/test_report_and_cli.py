@@ -1,0 +1,151 @@
+"""Tests for the report renderers and the command-line interface."""
+
+import pytest
+
+from repro.cli import MACHINES, build_parser, main
+from repro.report import bar_chart, grouped_bar_chart, text_table
+
+
+class TestTextTable:
+    def test_alignment(self):
+        table = text_table(["name", "value"], [["a", 1.5], ["long-name", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # rectangular
+
+    def test_float_formatting(self):
+        assert "1.500" in text_table(["x"], [[1.5]])
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError, match="row width"):
+            text_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        table = text_table(["a"], [])
+        assert "a" in table
+
+
+class TestBarCharts:
+    def test_peak_fills_width(self):
+        chart = bar_chart({"x": 1.0, "y": 2.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_unit_suffix(self):
+        assert "2.000 IPC" in bar_chart({"x": 2.0}, unit=" IPC")
+
+    def test_zero_values_ok(self):
+        chart = bar_chart({"x": 0.0, "y": 0.0})
+        assert "|" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"x": 1.0}, width=0)
+        with pytest.raises(ValueError):
+            bar_chart({"x": -1.0})
+
+    def test_grouped(self):
+        chart = grouped_bar_chart(
+            {"compress": {"base": 2.0, "dep": 1.9},
+             "gcc": {"base": 3.0, "dep": 2.8}}
+        )
+        assert "compress:" in chart
+        assert chart.count("|") == 4
+
+    def test_grouped_validation(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart({})
+        with pytest.raises(ValueError, match="same bars"):
+            grouped_bar_chart({"a": {"x": 1.0}, "b": {"y": 1.0}})
+
+
+class TestCli:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["delay", "--tech", "0.18"])
+        assert args.tech == 0.18
+
+    def test_delay_command(self, capsys):
+        assert main(["delay", "--tech", "0.18"]) == 0
+        out = capsys.readouterr().out
+        assert "577.9" in out  # Table 2 window logic
+        assert "reservation table" in out
+
+    def test_machines_command(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        for name in MACHINES:
+            assert name in out
+
+    def test_workloads_command(self, capsys):
+        assert main(["workloads", "-n", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "compress" in out
+        assert "vortex" in out
+
+    def test_workloads_profile(self, capsys):
+        assert main(["workloads", "--profile", "-n", "1000"]) == 0
+        assert "dataflow ILP" in capsys.readouterr().out
+
+    def test_simulate_command(self, capsys):
+        assert main(["simulate", "baseline", "li", "-n", "2000"]) == 0
+        assert "IPC=" in capsys.readouterr().out
+
+    def test_simulate_verbose(self, capsys):
+        assert main(["simulate", "dependence", "li", "-n", "2000", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "issued" in out
+
+    def test_experiment_fig13(self, capsys):
+        assert main(["experiment", "fig13", "-n", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "dependence-based" in out
+
+    def test_experiment_speedup(self, capsys):
+        assert main(["experiment", "speedup", "-n", "1500"]) == 0
+        assert "clock ratio" in capsys.readouterr().out
+
+    def test_asm_command(self, tmp_path, capsys):
+        source = tmp_path / "prog.s"
+        source.write_text(
+            "main: li r1, 50\nloop: addiu r1, r1, -1\nbgtz r1, loop\nhalt\n"
+        )
+        assert main(["asm", str(source), "--listing",
+                     "--simulate", "baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "executed" in out
+        assert "IPC=" in out
+
+    def test_unknown_machine_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "cray-1", "li"])
+
+    def test_timeline_command(self, capsys):
+        assert main(["timeline", "baseline", "li", "-n", "500",
+                     "--count", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "IPC=" in out
+
+    def test_frontier_command(self, capsys):
+        assert main(["frontier", "-n", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "BIPS" in out
+        assert "dependence" in out
+
+    def test_compile_command(self, tmp_path, capsys):
+        source = tmp_path / "prog.mini"
+        source.write_text(
+            "func main() { var i; var s; i = 0; s = 0;"
+            " while (i < 10) { s = s + i; i = i + 1; } return s; }"
+        )
+        assert main(["compile", str(source), "--listing",
+                     "--simulate", "baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "main returned 45" in out
+        assert "IPC=" in out
+        assert "fn_main" in out  # the --listing assembly

@@ -1,0 +1,89 @@
+"""Tests for experiment-result JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.core.experiments import run_machines
+from repro.core.machines import baseline_8way
+from repro.core.results_io import (
+    FORMAT_VERSION,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+    stats_from_dict,
+    stats_to_dict,
+)
+from repro.uarch.stats import SimStats
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return run_machines(
+        {"baseline": baseline_8way()},
+        workloads=("li", "compress"),
+        max_instructions=1_000,
+        name="io-test",
+    )
+
+
+class TestStatsRoundtrip:
+    def test_roundtrip_preserves_fields(self):
+        stats = SimStats(machine="m", workload="w", committed=10, cycles=5)
+        stats.note_stall("window_full")
+        stats.note_issue(3)
+        clone = stats_from_dict(stats_to_dict(stats))
+        assert clone.machine == "m"
+        assert clone.ipc == stats.ipc
+        assert clone.dispatch_stalls == {"window_full": 1}
+        assert clone.issue_histogram == {3: 1}
+
+    def test_histogram_keys_are_ints_after_load(self):
+        stats = SimStats()
+        stats.note_issue(7)
+        clone = stats_from_dict(stats_to_dict(stats))
+        assert list(clone.issue_histogram) == [7]
+
+
+class TestResultRoundtrip:
+    def test_file_roundtrip(self, small_result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(small_result, path)
+        loaded = load_result(path)
+        assert loaded.name == small_result.name
+        assert loaded.machine_names == small_result.machine_names
+        assert loaded.workloads == small_result.workloads
+        for workload in loaded.workloads:
+            assert loaded.ipc("baseline", workload) == pytest.approx(
+                small_result.ipc("baseline", workload)
+            )
+
+    def test_loaded_result_renders(self, small_result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(small_result, path)
+        table = load_result(path).format_table()
+        assert "baseline" in table
+
+    def test_json_is_stable(self, small_result, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        save_result(small_result, a)
+        save_result(small_result, b)
+        assert a.read_text() == b.read_text()
+
+    def test_version_check(self):
+        with pytest.raises(ValueError, match="unsupported result format"):
+            result_from_dict({"format_version": 999})
+
+    def test_bad_json_raises_value_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_result(path)
+
+    def test_format_version_recorded(self, small_result):
+        assert result_to_dict(small_result)["format_version"] == FORMAT_VERSION
+
+    def test_payload_is_plain_json(self, small_result):
+        json.dumps(result_to_dict(small_result))  # must not raise

@@ -1,0 +1,156 @@
+"""Tests for repro.technology: process parameters, wires, gates."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.technology import (
+    FEATURE_SIZES_UM,
+    TECH_018,
+    TECH_035,
+    TECH_080,
+    TECHNOLOGIES,
+    GateLibrary,
+    Technology,
+    WireModel,
+    distributed_rc_delay_ps,
+    fanout4_chain_delay,
+    technology_by_feature_size,
+)
+
+
+class TestTechnologyParams:
+    def test_three_studied_technologies(self):
+        assert FEATURE_SIZES_UM == (0.8, 0.35, 0.18)
+
+    def test_ordered_largest_feature_first(self):
+        sizes = [t.feature_size_um for t in TECHNOLOGIES]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_lambda_is_half_feature_size(self):
+        for tech in TECHNOLOGIES:
+            assert tech.lambda_um == pytest.approx(tech.feature_size_um / 2)
+
+    def test_lookup_by_feature_size(self):
+        assert technology_by_feature_size(0.18) is TECH_018
+        assert technology_by_feature_size(0.35) is TECH_035
+        assert technology_by_feature_size(0.8) is TECH_080
+
+    def test_lookup_unknown_feature_size_raises(self):
+        with pytest.raises(KeyError, match="0.25"):
+            technology_by_feature_size(0.25)
+
+    def test_rc_product_constant_across_technologies(self):
+        # The paper's scaling model keeps wire delay per lambda^2 fixed.
+        products = {t.rc_per_lambda_sq_ps for t in TECHNOLOGIES}
+        assert len(products) == 1
+
+    def test_rc_product_matches_table1(self):
+        # 0.5 * RC * 20500^2 must equal Table 1's 184.9 ps.
+        rc = TECH_018.rc_per_lambda_sq_ps
+        assert 0.5 * rc * 20500.0**2 == pytest.approx(184.9)
+
+    def test_r_times_c_consistent_with_product(self):
+        for tech in TECHNOLOGIES:
+            product = tech.r_metal_ohm_per_lambda * tech.c_metal_ff_per_lambda
+            # R[ohm] * C[fF] = RC in femtoseconds*1e... units: ohm*fF = fs;
+            # the stored product is in ps, so divide by 1000.
+            assert product / 1000.0 == pytest.approx(tech.rc_per_lambda_sq_ps)
+
+    def test_logic_speed_monotone_in_feature_size(self):
+        assert TECH_080.logic_speed > TECH_035.logic_speed > TECH_018.logic_speed == 1.0
+
+    def test_scale_logic_delay(self):
+        assert TECH_018.scale_logic_delay(100.0) == pytest.approx(100.0)
+        assert TECH_080.scale_logic_delay(100.0) > 400.0
+
+    def test_str_is_name(self):
+        assert str(TECH_018) == "0.18um"
+
+
+class TestWires:
+    def test_zero_length_zero_delay(self):
+        assert distributed_rc_delay_ps(TECH_018, 0.0) == 0.0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            distributed_rc_delay_ps(TECH_018, -1.0)
+
+    def test_wire_model_rejects_negative(self):
+        with pytest.raises(ValueError):
+            WireModel(TECH_018, -5.0)
+
+    def test_quadratic_in_length(self):
+        short = distributed_rc_delay_ps(TECH_018, 1000.0)
+        long = distributed_rc_delay_ps(TECH_018, 2000.0)
+        assert long == pytest.approx(4.0 * short)
+
+    def test_same_across_technologies(self):
+        delays = {distributed_rc_delay_ps(t, 30000.0) for t in TECHNOLOGIES}
+        assert len(delays) == 1
+
+    def test_wire_model_properties(self):
+        wire = WireModel(TECH_018, 10000.0)
+        assert wire.resistance_ohm > 0
+        assert wire.capacitance_ff > 0
+        assert wire.distributed_delay_ps == pytest.approx(
+            distributed_rc_delay_ps(TECH_018, 10000.0)
+        )
+
+    @given(st.floats(min_value=0.0, max_value=1e6))
+    def test_delay_non_negative(self, length):
+        assert distributed_rc_delay_ps(TECH_018, length) >= 0.0
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e5),
+        st.floats(min_value=1.0, max_value=1e5),
+    )
+    def test_delay_monotone_in_length(self, a, b):
+        lo, hi = sorted((a, b))
+        assert distributed_rc_delay_ps(TECH_018, lo) <= distributed_rc_delay_ps(
+            TECH_018, hi
+        )
+
+
+class TestGates:
+    def test_tau_scales_with_technology(self):
+        taus = [GateLibrary(t).tau_ps for t in TECHNOLOGIES]
+        assert taus[0] > taus[1] > taus[2]
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(KeyError, match="unknown gate"):
+            GateLibrary(TECH_018).gate_delay_ps("xor9")
+
+    def test_non_positive_effort_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            GateLibrary(TECH_018).gate_delay_ps("inv", 0.0)
+
+    def test_higher_fanin_is_slower(self):
+        lib = GateLibrary(TECH_018)
+        assert lib.gate_delay_ps("nand4") > lib.gate_delay_ps("nand2")
+        assert lib.gate_delay_ps("nor4") > lib.gate_delay_ps("nor2")
+
+    def test_chain_delay_sums_stages(self):
+        lib = GateLibrary(TECH_018)
+        chain = lib.chain_delay_ps(["inv", "nand2"])
+        assert chain == pytest.approx(
+            lib.gate_delay_ps("inv") + lib.gate_delay_ps("nand2")
+        )
+
+    def test_fanout4_chain(self):
+        assert fanout4_chain_delay(TECH_018, 0) == 0.0
+        one = fanout4_chain_delay(TECH_018, 1)
+        assert fanout4_chain_delay(TECH_018, 3) == pytest.approx(3 * one)
+
+    def test_fanout4_chain_negative_raises(self):
+        with pytest.raises(ValueError):
+            fanout4_chain_delay(TECH_018, -1)
+
+    def test_frozen_dataclass(self):
+        with pytest.raises(Exception):
+            TECH_018.name = "other"  # type: ignore[misc]
+
+    def test_technology_equality_by_value(self):
+        clone = Technology(name="0.18um", feature_size_um=0.18, logic_speed=1.0)
+        assert clone == TECH_018
