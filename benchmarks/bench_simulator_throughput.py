@@ -1,17 +1,30 @@
-"""Engineering benchmark: simulator throughput.
+"""Engineering benchmark: simulator throughput and its profile.
 
 Not a paper result -- this times the reproduction's own machinery so
 throughput regressions in the pipeline model are caught.  It reports
 simulated instructions per second for the cheapest and the most
-complex machine, plus the functional emulator's execution rate.
+complex machine, the functional emulator's execution rate, a
+per-stage host-time profile (via ``repro.obs.profiling``) showing
+where simulation time itself goes, and the event-tracing overhead.
+
+``SEED_MIN_RATE`` is the floor the seed revision asserted; the
+tracing-disabled overhead guard keeps the instrumented pipeline (one
+``tracer is None`` branch per event site) at or above it, so tracing
+hooks cannot silently erode the zero-tracing path.
 """
 
 from repro.core.machines import baseline_8way, clustered_dependence_8way
 from repro.isa import Emulator
+from repro.obs import EventTracer, profile_simulation
+from repro.obs.profiling import profile_run
 from repro.uarch.pipeline import simulate
 from repro.workloads import build_program, get_trace
 
 TRACE_LENGTH = 8_000
+
+#: Simulated instructions/second the seed revision guaranteed on this
+#: config; the observability layer must stay above it with tracing off.
+SEED_MIN_RATE = 10_000
 
 
 def test_throughput_baseline_machine(benchmark, paper_report):
@@ -23,14 +36,14 @@ def test_throughput_baseline_machine(benchmark, paper_report):
         f"  {rate:,.0f} simulated instructions/second "
         f"(IPC {stats.ipc:.2f} on gcc)",
     )
-    assert rate > 10_000  # guard against pathological slowdowns
+    assert rate > SEED_MIN_RATE  # guard against pathological slowdowns
 
 
 def test_throughput_clustered_fifo_machine(benchmark):
     trace = get_trace("gcc", TRACE_LENGTH)
     benchmark(simulate, clustered_dependence_8way(), trace)
     rate = TRACE_LENGTH / benchmark.stats.stats.mean
-    assert rate > 10_000
+    assert rate > SEED_MIN_RATE
 
 
 def test_throughput_functional_emulator(benchmark):
@@ -43,3 +56,44 @@ def test_throughput_functional_emulator(benchmark):
     assert len(trace) == TRACE_LENGTH
     rate = TRACE_LENGTH / benchmark.stats.stats.mean
     assert rate > 50_000
+
+
+def test_stage_profile(benchmark, paper_report, metrics_record):
+    """Where does simulation wall-clock go, stage by stage?"""
+    trace = get_trace("gcc", TRACE_LENGTH)
+
+    def profiled():
+        return profile_simulation(baseline_8way(), trace)
+
+    stats, report = benchmark.pedantic(profiled, rounds=1, iterations=1)
+    stats.validate()
+    metrics_record(stats)
+    paper_report("Simulator host profile (per-stage Python time)",
+                 report.format_report())
+    assert report.cycles == stats.cycles
+    assert sum(report.stage_seconds.values()) <= report.wall_seconds
+
+
+def test_tracing_disabled_overhead_guard(paper_report):
+    """Tracing off must not cost throughput: stay at/above the seed
+    floor, and full tracing must stay within a sane multiple."""
+    trace = get_trace("gcc", TRACE_LENGTH)
+    config = baseline_8way()
+    simulate(config, trace)  # warm caches before timing
+    _, plain_seconds = profile_run(simulate, config, trace)
+    tracer = EventTracer()
+    _, traced_seconds = profile_run(simulate, config, trace, tracer=tracer)
+    plain_rate = TRACE_LENGTH / plain_seconds
+    traced_rate = TRACE_LENGTH / traced_seconds
+    paper_report(
+        "Event-tracing overhead",
+        f"  tracing off: {plain_rate:,.0f} insts/s; "
+        f"tracing on: {traced_rate:,.0f} insts/s "
+        f"({traced_seconds / plain_seconds:.2f}x, "
+        f"{tracer.emitted:,} events)",
+    )
+    # The disabled path must clear the seed revision's floor outright
+    # (the hook is one branch per event site).
+    assert plain_rate > SEED_MIN_RATE
+    # Full event emission is allowed to cost, but not explode.
+    assert traced_seconds < 10 * plain_seconds

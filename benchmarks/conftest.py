@@ -10,8 +10,15 @@ data.
 Simulation length is controlled by the ``REPRO_BENCH_INSTRUCTIONS``
 environment variable (default 12000 dynamic instructions per
 benchmark program; the paper ran up to 0.5 B on real SPEC'95).
+
+Machine-readable output: set ``REPRO_BENCH_METRICS=/path/to.json``
+and every run registered through the ``metrics_record`` fixture is
+written there as one JSON document (each entry is a
+``SimStats.to_dict`` payload -- the same audited serialisation the
+exporters use).
 """
 
+import json
 import os
 
 import pytest
@@ -20,6 +27,9 @@ from repro.core.experiments import run_fig13, run_fig15, run_fig17
 
 #: (title, text) report blocks, in registration order.
 _REPORTS: list[tuple[str, str]] = []
+
+#: SimStats payloads registered for the machine-readable export.
+_METRICS: list[dict] = []
 
 
 def bench_instructions() -> int:
@@ -33,6 +43,16 @@ def paper_report():
 
     def add(title: str, body: str) -> None:
         _REPORTS.append((title, body))
+
+    return add
+
+
+@pytest.fixture
+def metrics_record():
+    """Register a run's SimStats for the REPRO_BENCH_METRICS export."""
+
+    def add(stats) -> None:
+        _METRICS.append(stats.to_dict())
 
     return add
 
@@ -53,6 +73,15 @@ def fig17_result():
 
 
 def pytest_terminal_summary(terminalreporter):
+    metrics_path = os.environ.get("REPRO_BENCH_METRICS")
+    if metrics_path and _METRICS:
+        with open(metrics_path, "w", encoding="utf-8") as handle:
+            json.dump({"kind": "repro-bench-metrics", "runs": _METRICS},
+                      handle, indent=1, sort_keys=True)
+        terminalreporter.write_line(
+            f"wrote {len(_METRICS)} run metrics to {metrics_path}"
+        )
+    _METRICS.clear()
     if not _REPORTS:
         return
     terminalreporter.write_sep("=", "paper reproduction results")

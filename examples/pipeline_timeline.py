@@ -13,6 +13,7 @@ Run:  python examples/pipeline_timeline.py
 
 from repro.core.machines import baseline_8way, clustered_random_8way
 from repro.isa import assemble, run_to_trace
+from repro.obs import EventTracer
 from repro.report import render_timeline
 from repro.uarch.pipeline import PipelineSimulator
 
@@ -25,7 +26,7 @@ CHAIN = (
 
 def show(title, config, count=10):
     trace = run_to_trace(assemble(CHAIN))
-    simulator = PipelineSimulator(config, trace)
+    simulator = PipelineSimulator(config, trace, tracer=EventTracer())
     simulator.run()
     print(f"== {title} ==")
     print(render_timeline(simulator, 0, count))

@@ -6,6 +6,9 @@ Commands:
 * ``machines``   -- list the simulated machine configurations.
 * ``workloads``  -- list (and optionally profile) the benchmark suite.
 * ``simulate``   -- run one machine over one workload.
+* ``stats``      -- simulate and print the per-cause stall breakdown.
+* ``trace``      -- emit a structured event trace (Chrome/Perfetto
+  JSON, metrics JSON, or a text timeline).
 * ``experiment`` -- regenerate fig13 / fig15 / fig17 / speedup.
 * ``asm``        -- assemble, run, and optionally simulate a program.
 """
@@ -23,7 +26,12 @@ from repro.isa import assemble, run_to_trace
 from repro.report import bar_chart, text_table
 from repro.technology import TECHNOLOGIES, technology_by_feature_size
 from repro.uarch.pipeline import simulate as run_simulation
-from repro.workloads import WORKLOAD_NAMES, get_trace
+from repro.workloads import (
+    WORKLOAD_NAMES,
+    SyntheticConfig,
+    get_trace,
+    synthetic_trace,
+)
 
 #: CLI machine names -> factory functions.
 MACHINES = {
@@ -103,7 +111,8 @@ def _cmd_simulate(args) -> int:
               f"store forwards {stats.store_forwards}")
         if stats.dispatch_stalls:
             stalls = ", ".join(
-                f"{k}={v}" for k, v in sorted(stats.dispatch_stalls.items())
+                f"{k.value}={v}"
+                for k, v in sorted(stats.dispatch_stalls.items())
             )
             print(f"  dispatch stalls: {stalls}")
         histogram = {
@@ -113,13 +122,82 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _get_any_trace(workload: str, instructions: int):
+    """A bundled workload trace, or a fresh synthetic one."""
+    if workload == "synthetic":
+        return synthetic_trace(SyntheticConfig(length=instructions))
+    return get_trace(workload, instructions)
+
+
+def _cmd_stats(args) -> int:
+    config = MACHINES[args.machine]()
+    trace = _get_any_trace(args.workload, args.instructions)
+    stats = run_simulation(config, trace)
+    stats.validate()
+    print(stats.summary())
+    if args.breakdown:
+        rows = [
+            [cause, cycles, f"{100 * fraction:5.1f}%"]
+            for cause, cycles, fraction in stats.stall_breakdown()
+        ]
+        print("\nper-cause cycle attribution (sums to total cycles):")
+        print(text_table(["cause", "cycles", "share"], rows))
+        attributed = stats.active_cycles + sum(stats.stall_cycles.values())
+        print(f"  attributed {attributed} of {stats.cycles} cycles")
+    if args.json:
+        from repro.obs import write_metrics_json
+
+        write_metrics_json(args.json, stats)
+        print(f"  metrics written to {args.json}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import EventTracer, write_chrome_trace, write_metrics_json
+    from repro.report.timeline import render_timeline
+    from repro.uarch.pipeline import PipelineSimulator
+
+    config = MACHINES[args.machine]()
+    trace = _get_any_trace(args.workload, args.instructions)
+    capacity = (
+        args.capacity if args.capacity is not None
+        else EventTracer.DEFAULT_CAPACITY
+    )
+    try:
+        tracer = EventTracer(capacity=capacity)
+    except ValueError as error:
+        print(f"repro trace: error: {error}", file=sys.stderr)
+        return 2
+    simulator = PipelineSimulator(config, trace, tracer=tracer)
+    stats = simulator.run()
+    stats.validate()
+    if args.format == "chrome":
+        payload = write_chrome_trace(args.out, tracer.events, stats=stats)
+        print(f"wrote {len(payload['traceEvents'])} trace events to "
+              f"{args.out} (open in Perfetto or chrome://tracing)")
+    elif args.format == "metrics":
+        write_metrics_json(args.out, stats)
+        print(f"wrote metrics JSON to {args.out}")
+    else:  # timeline
+        text = render_timeline(simulator, first=0, count=args.count)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote text timeline to {args.out}")
+    if tracer.dropped:
+        print(f"  note: ring buffer evicted {tracer.dropped} of "
+              f"{tracer.emitted} events (raise --capacity to keep more)")
+    print(stats.summary())
+    return 0
+
+
 def _cmd_timeline(args) -> int:
+    from repro.obs import EventTracer
     from repro.report.timeline import render_timeline
     from repro.uarch.pipeline import PipelineSimulator
 
     config = MACHINES[args.machine]()
     trace = get_trace(args.workload, args.instructions)
-    simulator = PipelineSimulator(config, trace)
+    simulator = PipelineSimulator(config, trace, tracer=EventTracer())
     simulator.run()
     print(render_timeline(simulator, first=args.start, count=args.count))
     print(simulator.stats.summary())
@@ -226,6 +304,38 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("-n", "--instructions", type=int, default=20_000)
     simulate.add_argument("-v", "--verbose", action="store_true")
     simulate.set_defaults(func=_cmd_simulate)
+
+    stats_cmd = commands.add_parser(
+        "stats", help="simulate and print the stall-cycle breakdown"
+    )
+    stats_cmd.add_argument("machine", choices=sorted(MACHINES))
+    stats_cmd.add_argument("workload", choices=WORKLOAD_NAMES + ("synthetic",))
+    stats_cmd.add_argument("-n", "--instructions", type=int, default=20_000)
+    stats_cmd.add_argument("--breakdown", action="store_true",
+                           help="print per-cause cycle attribution")
+    stats_cmd.add_argument("--json", default=None, metavar="PATH",
+                           help="also write machine-readable metrics JSON")
+    stats_cmd.set_defaults(func=_cmd_stats)
+
+    trace_cmd = commands.add_parser(
+        "trace", help="emit a structured pipeline event trace"
+    )
+    trace_cmd.add_argument("workload", choices=WORKLOAD_NAMES + ("synthetic",))
+    trace_cmd.add_argument("--machine", choices=sorted(MACHINES),
+                           default="baseline")
+    trace_cmd.add_argument("-n", "--instructions", type=int, default=5_000)
+    trace_cmd.add_argument("--out", default="trace.json",
+                           help="output path (default trace.json)")
+    trace_cmd.add_argument("--format", choices=("chrome", "metrics", "timeline"),
+                           default="chrome",
+                           help="chrome trace_event JSON (default), metrics "
+                                "JSON, or a text timeline")
+    trace_cmd.add_argument("--capacity", type=int, default=None,
+                           help="tracer ring-buffer capacity "
+                                "(default 1M events)")
+    trace_cmd.add_argument("--count", type=int, default=48,
+                           help="instructions to render (timeline format)")
+    trace_cmd.set_defaults(func=_cmd_trace)
 
     experiment = commands.add_parser("experiment", help="regenerate a figure")
     experiment.add_argument("which", choices=("fig13", "fig15", "fig17", "speedup"))

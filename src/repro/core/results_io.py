@@ -14,45 +14,26 @@ from pathlib import Path
 from repro.core.experiments import ExperimentResult
 from repro.uarch.stats import SimStats
 
-#: Format marker for forward compatibility.
-FORMAT_VERSION = 1
+#: Format marker for forward compatibility.  Version 2 added the
+#: cycle-attribution fields (``active_cycles``/``stall_cycles``);
+#: version-1 files still load (the new fields default to zero).
+FORMAT_VERSION = 2
 
-_STAT_FIELDS = (
-    "machine",
-    "workload",
-    "committed",
-    "cycles",
-    "fetched",
-    "branch_lookups",
-    "branch_hits",
-    "mispredicts",
-    "cache_accesses",
-    "cache_misses",
-    "store_forwards",
-    "inter_cluster_bypasses",
-    "occupancy_sum",
-)
+_READABLE_VERSIONS = (1, 2)
 
 
 def stats_to_dict(stats: SimStats) -> dict:
-    """Convert one run's statistics to JSON-ready primitives."""
-    payload = {field: getattr(stats, field) for field in _STAT_FIELDS}
-    payload["dispatch_stalls"] = dict(stats.dispatch_stalls)
-    # JSON object keys must be strings.
-    payload["issue_histogram"] = {
-        str(k): v for k, v in stats.issue_histogram.items()
-    }
-    return payload
+    """Convert one run's statistics to JSON-ready primitives.
+
+    Thin alias for :meth:`SimStats.to_dict` -- the single audited
+    serialisation path -- kept for API stability.
+    """
+    return stats.to_dict()
 
 
 def stats_from_dict(payload: dict) -> SimStats:
-    """Inverse of :func:`stats_to_dict`."""
-    stats = SimStats(**{field: payload[field] for field in _STAT_FIELDS})
-    stats.dispatch_stalls = dict(payload.get("dispatch_stalls", {}))
-    stats.issue_histogram = {
-        int(k): v for k, v in payload.get("issue_histogram", {}).items()
-    }
-    return stats
+    """Inverse of :func:`stats_to_dict` (see :meth:`SimStats.from_dict`)."""
+    return SimStats.from_dict(payload)
 
 
 def result_to_dict(result: ExperimentResult) -> dict:
@@ -79,7 +60,7 @@ def result_from_dict(payload: dict) -> ExperimentResult:
         ValueError: on a missing or unsupported format version.
     """
     version = payload.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise ValueError(
             f"unsupported result format {version!r} (expected {FORMAT_VERSION})"
         )

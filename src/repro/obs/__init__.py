@@ -1,0 +1,40 @@
+"""Observability for the timing simulator.
+
+Three tools, all optional and zero-cost when unused:
+
+* :mod:`repro.obs.events` -- a structured event tracer: the pipeline
+  emits typed per-instruction lifecycle events (fetch, rename,
+  dispatch, steer, wakeup, select, issue, execute, bypass, commit,
+  squash) into a bounded ring buffer when a tracer is attached.
+* :mod:`repro.obs.export` -- exporters: Chrome ``trace_event`` JSON
+  (open in Perfetto or chrome://tracing) and machine-readable metrics
+  JSON, each with a validator.
+* :mod:`repro.obs.profiling` -- a host-profiling harness that times
+  where the *simulation itself* spends wall-clock, per pipeline
+  stage.
+
+See ``docs/observability.md`` for the event schema and workflows.
+"""
+
+from repro.obs.events import EventKind, EventTracer, TraceEvent
+from repro.obs.export import (
+    chrome_trace,
+    metrics_dict,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.obs.profiling import ProfileReport, profile_simulation
+
+__all__ = [
+    "EventKind",
+    "EventTracer",
+    "TraceEvent",
+    "chrome_trace",
+    "metrics_dict",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_json",
+    "ProfileReport",
+    "profile_simulation",
+]

@@ -1,0 +1,148 @@
+"""Structured per-instruction pipeline lifecycle events.
+
+The pipeline emits one :class:`TraceEvent` per lifecycle step of each
+dynamic instruction into an :class:`EventTracer` -- a bounded ring
+buffer, so tracing a long run costs constant memory (oldest events are
+dropped and counted, never silently).  The zero-tracing path costs a
+single ``is not None`` branch per event site in the pipeline.
+
+Event vocabulary (one :class:`EventKind` per pipeline action):
+
+========  ==========================================================
+FETCH     instruction entered the fetch buffer (detail: opcode)
+RENAME    destination register renamed at dispatch
+STEER     steering decision (cluster, detail: FIFO index and rule)
+DISPATCH  inserted into an issue window / FIFO
+WAKEUP    last outstanding operand arrived in a cluster
+SELECT    chosen by the select logic this cycle
+ISSUE     left the issue buffer for a functional unit
+EXECUTE   execution span (``dur`` = latency in cycles)
+BYPASS    consumed an operand over the inter-cluster bypass
+COMMIT    retired in order
+SQUASH    mispredicted branch halted fetch (lost fetch cycles)
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+
+
+class EventKind(str, Enum):
+    """Typed pipeline lifecycle events (see module docstring)."""
+
+    FETCH = "fetch"
+    RENAME = "rename"
+    STEER = "steer"
+    DISPATCH = "dispatch"
+    WAKEUP = "wakeup"
+    SELECT = "select"
+    ISSUE = "issue"
+    EXECUTE = "execute"
+    BYPASS = "bypass"
+    COMMIT = "commit"
+    SQUASH = "squash"
+
+
+#: Kinds that appear exactly once per committed instruction, in
+#: program-lifecycle order.  WAKEUP/SELECT/BYPASS/SQUASH are optional
+#: (an instruction ready at dispatch never sleeps, for example).
+LIFECYCLE_ORDER = (
+    EventKind.FETCH,
+    EventKind.DISPATCH,
+    EventKind.ISSUE,
+    EventKind.COMMIT,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One pipeline event.
+
+    Attributes:
+        cycle: Simulation cycle the event occurred.
+        kind: What happened.
+        seq: Dynamic sequence number of the instruction.
+        cluster: Cluster involved (-1 when not applicable).
+        detail: Small free-form annotation (opcode, FIFO, rule, ...).
+        dur: Span length in cycles (EXECUTE only; 0 for instants).
+    """
+
+    cycle: int
+    kind: EventKind
+    seq: int
+    cluster: int = -1
+    detail: str = ""
+    dur: int = 0
+
+
+class EventTracer:
+    """Bounded ring buffer of :class:`TraceEvent`.
+
+    Attach one to a ``PipelineSimulator`` to capture its lifecycle
+    events::
+
+        tracer = EventTracer()
+        simulator = PipelineSimulator(config, trace, tracer=tracer)
+        simulator.run()
+        tracer.events  # list[TraceEvent], oldest first
+
+    Args:
+        capacity: Maximum buffered events; older events are evicted
+            (and counted in :attr:`dropped`).  ``None`` = unbounded.
+    """
+
+    #: Default ring capacity -- roughly 100k instructions of full
+    #: lifecycle tracing before eviction starts.
+    DEFAULT_CAPACITY = 1 << 20
+
+    def __init__(self, capacity: int | None = DEFAULT_CAPACITY):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self._buffer: deque[TraceEvent] = deque(maxlen=capacity)
+        self.emitted = 0  #: Total events ever emitted.
+
+    def emit(
+        self,
+        cycle: int,
+        kind: EventKind,
+        seq: int,
+        cluster: int = -1,
+        detail: str = "",
+        dur: int = 0,
+    ) -> None:
+        """Append one event (evicting the oldest when full)."""
+        self._buffer.append(TraceEvent(cycle, kind, seq, cluster, detail, dur))
+        self.emitted += 1
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Buffered events, oldest first."""
+        return list(self._buffer)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring bound."""
+        return self.emitted - len(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def clear(self) -> None:
+        """Drop all buffered events and reset the counters."""
+        self._buffer.clear()
+        self.emitted = 0
+
+    def events_for(self, seq: int) -> list[TraceEvent]:
+        """All buffered events of one instruction, oldest first."""
+        return [event for event in self._buffer if event.seq == seq]
+
+    def chains(self) -> dict[int, list[TraceEvent]]:
+        """Buffered events grouped by instruction, order preserved."""
+        grouped: dict[int, list[TraceEvent]] = {}
+        for event in self._buffer:
+            grouped.setdefault(event.seq, []).append(event)
+        return grouped

@@ -35,13 +35,14 @@ from collections import deque
 
 from repro.isa.emulator import Trace
 from repro.isa.instructions import FP_REG_BASE, OpClass
+from repro.obs.events import EventKind, EventTracer
 from repro.uarch.cache import SetAssociativeCache
 from repro.uarch.config import MachineConfig, SelectionPolicy, SteeringPolicy
 from repro.uarch.depend import NO_PRODUCER, dependence_info
 from repro.uarch.fifos import FifoSet
 from repro.uarch.predictor import GshareBranchPredictor
 from repro.uarch.rename import RegisterRenamer
-from repro.uarch.stats import SimStats
+from repro.uarch.stats import BACKPRESSURE_CAUSES, SimStats, StallCause
 from repro.uarch.steering import (
     FifoDispatchSteering,
     LeastLoadedSteering,
@@ -71,16 +72,40 @@ REGFILE_WRITE_DELAY = 2
 #: Fetch-buffer depth in multiples of the fetch width.
 _FETCH_BUFFER_FACTOR = 2
 
+#: Tie-break priority when several causes block issue in one cycle:
+#: structural contention first, then memory ordering, then bypass
+#: latency (higher rank wins a tie on blocked-instruction count).
+_ISSUE_BLOCK_RANK = {
+    StallCause.FU_CONTENTION: 4,
+    StallCause.CACHE_PORT: 3,
+    StallCause.LOAD_STORE_ORDER: 2,
+    StallCause.INTER_CLUSTER_WAIT: 1,
+}
+
 
 class PipelineSimulator:
     """One machine configuration bound to one trace.
 
     Use :func:`simulate` for the one-shot convenience form.
+
+    Args:
+        config: The machine to model.
+        trace: The committed dynamic instruction stream to replay.
+        tracer: Optional :class:`~repro.obs.events.EventTracer`; when
+            attached, every lifecycle step of every instruction is
+            emitted as a structured event.  ``None`` (the default)
+            keeps the hot path at one branch per event site.
     """
 
-    def __init__(self, config: MachineConfig, trace: Trace):
+    def __init__(
+        self,
+        config: MachineConfig,
+        trace: Trace,
+        tracer: EventTracer | None = None,
+    ):
         self.config = config
         self.trace = trace
+        self.tracer = tracer
         self.insts = trace.insts
         info = dependence_info(trace)
         self.producers = info.producers
@@ -186,6 +211,9 @@ class PipelineSimulator:
         self.unissued_stores: list[int] = []
         self.inflight_store_words: dict[int, int] = {}
         self.commit_ptr = 0
+        # Per-cycle stall attribution (see _attribute_cycle).
+        self._dispatch_block: StallCause | None = None
+        self._issue_block: StallCause | None = None
         if self._steering is not None:
             self._steering.reset()
 
@@ -230,10 +258,13 @@ class PipelineSimulator:
         events = self.arrivals.pop(self.cycle, None)
         if not events:
             return
+        tracer = self.tracer
         for seq, cluster in events:
             counts = self.pending[seq]
             counts[cluster] -= 1
             if counts[cluster] == 0:
+                if tracer is not None:
+                    tracer.emit(self.cycle, EventKind.WAKEUP, seq, cluster)
                 self._on_operands_ready(seq, cluster)
 
     # ------------------------------------------------------------------
@@ -243,6 +274,7 @@ class PipelineSimulator:
     def _commit(self) -> None:
         budget = self.config.retire_width
         n = len(self.insts)
+        tracer = self.tracer
         while budget and self.commit_ptr < n:
             seq = self.commit_ptr
             if not self.issued[seq] or self.complete_cycle[seq] > self.cycle - 1:
@@ -264,6 +296,10 @@ class PipelineSimulator:
                     renamer.release(previous)
             if self.used_x_bypass[seq]:
                 self.stats.inter_cluster_bypasses += 1
+            if tracer is not None:
+                tracer.emit(
+                    self.cycle, EventKind.COMMIT, seq, self.cluster_of[seq]
+                )
             self.commit_cycle[seq] = self.cycle
             self.in_flight -= 1
             self.commit_ptr += 1
@@ -324,10 +360,19 @@ class PipelineSimulator:
             elif not self.config.clusters[cluster].uses_fifos:
                 heapq.heappush(self.ready_heaps[cluster], seq)
 
-    def _pick_exec_cluster(self, seq: int, fu_budget: list[int]) -> int | None:
+    def _pick_exec_cluster(
+        self, seq: int, fu_budget: list[int]
+    ) -> tuple[int | None, StallCause | None]:
         """Execution-driven steering (Section 5.6.1): choose the
         cluster that provides the source values first, if it has a
-        free unit; otherwise the other, if usable; else defer."""
+        free unit; otherwise the other, if usable; else defer.
+
+        Returns:
+            ``(cluster, None)`` on success, or ``(None, cause)`` when
+            deferred -- :data:`StallCause.INTER_CLUSTER_WAIT` if a
+            free unit exists but the operands have not yet crossed the
+            bypass to it, else :data:`StallCause.FU_CONTENTION`.
+        """
         avail = [0, 0]
         for k in range(self.n_clusters):
             worst = 0
@@ -341,8 +386,10 @@ class PipelineSimulator:
         order = sorted(range(self.n_clusters), key=lambda k: (avail[k], k))
         for k in order:
             if avail[k] <= self.cycle and fu_budget[k] > 0:
-                return k
-        return None
+                return k, None
+        if any(budget > 0 for budget in fu_budget):
+            return None, StallCause.INTER_CLUSTER_WAIT
+        return None, StallCause.FU_CONTENTION
 
     def _load_latency(self, inst) -> int:
         word = inst.mem_addr >> 2
@@ -353,6 +400,14 @@ class PipelineSimulator:
     def _issue_one(self, seq: int, cluster: int, fifo_index: int | None) -> None:
         inst = self.insts[seq]
         now = self.cycle
+        tracer = self.tracer
+        if tracer is not None:
+            origin = (
+                f"fifo={fifo_index}" if fifo_index is not None
+                else f"slot={self.slot_of[seq]}" if seq in self.slot_of
+                else "window"
+            )
+            tracer.emit(now, EventKind.SELECT, seq, cluster, detail=origin)
         if inst.op_class is OpClass.LOAD:
             latency = self._load_latency(inst)
         else:
@@ -367,6 +422,12 @@ class PipelineSimulator:
         self.issue_cycle[seq] = now
         self.complete_cycle[seq] = now + latency
         self.cluster_of[seq] = cluster
+        if tracer is not None:
+            tracer.emit(now, EventKind.ISSUE, seq, cluster)
+            tracer.emit(
+                now, EventKind.EXECUTE, seq, cluster,
+                detail=inst.op_class.name.lower(), dur=latency,
+            )
         # Leave the issue buffer.
         if fifo_index is not None:
             fifo = self.fifo_sets[cluster].fifos[fifo_index]
@@ -394,6 +455,11 @@ class PipelineSimulator:
             arrival = self._avail_cycle(producer, cluster)
             if now < arrival + REGFILE_WRITE_DELAY:
                 self.used_x_bypass[seq] = 1
+                if tracer is not None:
+                    tracer.emit(
+                        now, EventKind.BYPASS, seq, cluster,
+                        detail=f"from={self.cluster_of[producer]}",
+                    )
                 break
         # Wake dispatched consumers.
         waiters = self.waiting_on[seq]
@@ -407,7 +473,7 @@ class PipelineSimulator:
             self.pending_redirect = None
             self.next_fetch_cycle = self.complete_cycle[seq]
 
-    def _issue(self) -> None:
+    def _issue(self) -> int:
         exec_driven = self.config.steering is SteeringPolicy.EXEC_DRIVEN
         budget = self.config.issue_width
         fu_budget = [c.fu_count for c in self.config.clusters]
@@ -415,6 +481,10 @@ class PipelineSimulator:
         oldest_store = self._oldest_unissued_store()
         leftovers: list[tuple[int, int, int | None]] = []
         issued_count = 0
+        # Why ready instructions failed to issue this cycle, by cause;
+        # _attribute_cycle picks the dominant one.
+        blocked: dict[StallCause, int] = {}
+        self._issue_block = None
         for seq, cluster, fifo_index in self._gather_candidates():
             if budget == 0:
                 leftovers.append((seq, cluster, fifo_index))
@@ -422,6 +492,9 @@ class PipelineSimulator:
             inst = self.insts[seq]
             is_mem = inst.op_class in (OpClass.LOAD, OpClass.STORE)
             if is_mem and mem_budget == 0:
+                blocked[StallCause.CACHE_PORT] = (
+                    blocked.get(StallCause.CACHE_PORT, 0) + 1
+                )
                 leftovers.append((seq, cluster, fifo_index))
                 continue
             if (
@@ -429,15 +502,22 @@ class PipelineSimulator:
                 and oldest_store is not None
                 and oldest_store < seq
             ):
+                blocked[StallCause.LOAD_STORE_ORDER] = (
+                    blocked.get(StallCause.LOAD_STORE_ORDER, 0) + 1
+                )
                 leftovers.append((seq, cluster, fifo_index))
                 continue
             if exec_driven:
-                chosen = self._pick_exec_cluster(seq, fu_budget)
+                chosen, defer_cause = self._pick_exec_cluster(seq, fu_budget)
                 if chosen is None:
+                    blocked[defer_cause] = blocked.get(defer_cause, 0) + 1
                     leftovers.append((seq, cluster, fifo_index))
                     continue
                 cluster = chosen
             elif fu_budget[cluster] == 0:
+                blocked[StallCause.FU_CONTENTION] = (
+                    blocked.get(StallCause.FU_CONTENTION, 0) + 1
+                )
                 leftovers.append((seq, cluster, fifo_index))
                 continue
             self._issue_one(seq, cluster, fifo_index)
@@ -448,8 +528,15 @@ class PipelineSimulator:
             if inst.is_store:
                 oldest_store = self._oldest_unissued_store()
             issued_count += 1
+        if blocked:
+            # The cause blocking the most ready instructions wins;
+            # ties break on a fixed structural-first order.
+            self._issue_block = max(
+                blocked, key=lambda c: (blocked[c], _ISSUE_BLOCK_RANK[c])
+            )
         self._requeue(leftovers)
         self.stats.note_issue(issued_count)
+        return issued_count
 
     # ------------------------------------------------------------------
     # dispatch (rename + steer + insert into issue buffers)
@@ -475,17 +562,17 @@ class PipelineSimulator:
             )
         return outstanding
 
-    def _place(self, seq: int) -> tuple[Placement | None, str]:
+    def _place(self, seq: int) -> tuple[Placement | None, StallCause]:
         """Choose where ``seq`` dispatches to; (None, cause) = stall."""
         policy = self.config.steering
         if policy is SteeringPolicy.NONE:
             if self.window_count[0] >= self.config.clusters[0].capacity:
-                return None, "window_full"
-            return Placement(cluster=0), ""
+                return None, StallCause.WINDOW_FULL
+            return Placement(cluster=0), StallCause.WINDOW_FULL
         if policy is SteeringPolicy.EXEC_DRIVEN:
             if sum(self.window_count) >= self.config.total_capacity:
-                return None, "window_full"
-            return Placement(cluster=0), ""
+                return None, StallCause.WINDOW_FULL
+            return Placement(cluster=0), StallCause.WINDOW_FULL
         if policy in _BLIND_POLICIES:
             room = [
                 self.config.clusters[k].capacity - self.window_count[k]
@@ -493,7 +580,7 @@ class PipelineSimulator:
             ]
             view = SteeringView(self.fifo_sets, window_room=room)
             placement = self._steering.place(view, [])
-            return placement, "window_full"
+            return placement, StallCause.WINDOW_FULL
         # FIFO_DISPATCH / WINDOW_DISPATCH.
         if self.conceptual_fifos:
             room = [
@@ -504,7 +591,7 @@ class PipelineSimulator:
         else:
             view = SteeringView(self.fifo_sets)
         placement = self._steering.place(view, self._outstanding_operands(seq))
-        return placement, "no_fifo"
+        return placement, StallCause.NO_FIFO
 
     def _apply_placement(self, seq: int, placement: Placement) -> None:
         cluster = placement.cluster
@@ -535,6 +622,11 @@ class PipelineSimulator:
         )
         [renamed] = renamer.rename_group([(logical_srcs, logical_dest)])
         self.prev_dest_phys[seq] = renamed.prev_dest
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.cycle, EventKind.RENAME, seq,
+                detail=f"r{inst.dest}->p{renamed.phys_dest}",
+            )
 
     def _init_pending(self, seq: int) -> None:
         counts = [0] * self.n_clusters
@@ -571,32 +663,47 @@ class PipelineSimulator:
                 self.in_ready[seq] = 1
                 heapq.heappush(self.ready_heaps[home], seq)
 
-    def _dispatch(self) -> None:
+    def _dispatch(self) -> int:
         budget = self.config.dispatch_width
+        tracer = self.tracer
+        dispatched_count = 0
+        self._dispatch_block = None
         while budget and self.fetch_buffer:
             seq, ready_cycle = self.fetch_buffer[0]
             if ready_cycle > self.cycle:
                 break
             inst = self.insts[seq]
             if self.in_flight >= self.config.max_in_flight:
-                self.stats.note_stall("in_flight")
+                self._note_dispatch_block(StallCause.IN_FLIGHT)
                 break
             if inst.dest is not None:
                 if inst.dest < FP_REG_BASE:
                     if self.int_renamer.free_count == 0:
-                        self.stats.note_stall("int_regs")
+                        self._note_dispatch_block(StallCause.INT_REGS)
                         break
                 elif self.fp_renamer.free_count == 0:
-                    self.stats.note_stall("fp_regs")
+                    self._note_dispatch_block(StallCause.FP_REGS)
                     break
             placement, stall_cause = self._place(seq)
             if placement is None:
-                self.stats.note_stall(stall_cause)
+                self._note_dispatch_block(stall_cause)
                 break
             self.fetch_buffer.popleft()
             self._apply_placement(seq, placement)
+            if tracer is not None:
+                rule = getattr(self._steering, "last_rule", "")
+                fifo = placement.fifo
+                tracer.emit(
+                    self.cycle, EventKind.STEER, seq, placement.cluster,
+                    detail=(f"fifo={fifo} {rule}".strip() if fifo is not None
+                            else rule),
+                )
             if inst.dest is not None:
                 self._rename_dest(seq, inst)
+            if tracer is not None:
+                tracer.emit(
+                    self.cycle, EventKind.DISPATCH, seq, placement.cluster
+                )
             if inst.is_store:
                 heapq.heappush(self.unissued_stores, seq)
             self.dispatched[seq] = 1
@@ -604,6 +711,13 @@ class PipelineSimulator:
             self.in_flight += 1
             self._init_pending(seq)
             budget -= 1
+            dispatched_count += 1
+        return dispatched_count
+
+    def _note_dispatch_block(self, cause: StallCause) -> None:
+        """Record why dispatch stopped this cycle (counter + cause)."""
+        self.stats.note_stall(cause)
+        self._dispatch_block = cause
 
     # ------------------------------------------------------------------
     # fetch
@@ -615,12 +729,18 @@ class PipelineSimulator:
         budget = self.config.fetch_width
         ready_at = self.cycle + self.config.front_end_stages
         n = len(self.insts)
+        tracer = self.tracer
         while budget and self.fetch_ptr < n:
             if len(self.fetch_buffer) >= self.fetch_buffer_cap:
                 break
             inst = self.insts[self.fetch_ptr]
             self.fetch_buffer.append((self.fetch_ptr, ready_at))
             self.fetch_cycle[self.fetch_ptr] = self.cycle
+            if tracer is not None:
+                tracer.emit(
+                    self.cycle, EventKind.FETCH, self.fetch_ptr,
+                    detail=inst.opcode,
+                )
             self.fetch_ptr += 1
             self.stats.fetched += 1
             budget -= 1
@@ -630,6 +750,11 @@ class PipelineSimulator:
                     # Mispredicted: fetch halts until the branch
                     # executes and redirects the front end.
                     self.stats.mispredicts += 1
+                    if tracer is not None:
+                        tracer.emit(
+                            self.cycle, EventKind.SQUASH, inst.seq,
+                            detail="mispredict",
+                        )
                     self.pending_redirect = inst.seq
                     self.next_fetch_cycle = _INF
                     break
@@ -649,11 +774,43 @@ class PipelineSimulator:
         """Advance one cycle."""
         self._process_arrivals()
         self._commit()
-        self._issue()
-        self._dispatch()
+        issued = self._issue()
+        dispatched = self._dispatch()
         self._fetch()
         self.stats.occupancy_sum += self._buffered_instructions()
+        self._attribute_cycle(dispatched, issued)
         self.cycle += 1
+
+    def _attribute_cycle(self, dispatched: int, issued: int) -> None:
+        """Charge this cycle to exactly one cause.
+
+        The partition (which :meth:`SimStats.validate` checks sums to
+        total cycles):
+
+        * dispatch progressed -> active;
+        * dispatch hit backpressure (window/FIFO/in-flight full) while
+          issue also moved nothing -> the issue-side culprit
+          (FU contention, cache port, load-store order, inter-cluster
+          wait) when one was observed, else the dispatch cause;
+        * dispatch blocked on a rename/window resource -> that cause;
+        * nothing to dispatch -> fetch-starved, or drain once the
+          trace is exhausted.
+        """
+        if dispatched:
+            cause = None
+        elif self._dispatch_block is not None:
+            cause = self._dispatch_block
+            if (
+                issued == 0
+                and self._issue_block is not None
+                and cause in BACKPRESSURE_CAUSES
+            ):
+                cause = self._issue_block
+        elif self.fetch_ptr >= len(self.insts) and not self.fetch_buffer:
+            cause = StallCause.DRAIN
+        else:
+            cause = StallCause.FETCH_STARVED
+        self.stats.attribute_cycle(cause)
 
     def run(self, max_cycles: int | None = None) -> SimStats:
         """Simulate until the whole trace commits.
@@ -688,6 +845,13 @@ class PipelineSimulator:
         return self.stats
 
 
-def simulate(config: MachineConfig, trace: Trace, max_cycles: int | None = None) -> SimStats:
+def simulate(
+    config: MachineConfig,
+    trace: Trace,
+    max_cycles: int | None = None,
+    tracer: EventTracer | None = None,
+) -> SimStats:
     """Run one machine over one trace and return its statistics."""
-    return PipelineSimulator(config, trace).run(max_cycles=max_cycles)
+    return PipelineSimulator(config, trace, tracer=tracer).run(
+        max_cycles=max_cycles
+    )

@@ -92,10 +92,14 @@ class FifoDispatchSteering:
             raise ValueError("cluster_count must be >= 1")
         self.cluster_count = cluster_count
         self._current_cluster = 0
+        #: Rule applied by the most recent place() call (for STEER
+        #: trace events): "behind_producer", "new_fifo", or "".
+        self.last_rule = ""
 
     def reset(self) -> None:
         """Forget free-list state (for a fresh run)."""
         self._current_cluster = 0
+        self.last_rule = ""
 
     def _behind_producer(
         self, view: SteeringView, operand: OutstandingOperand
@@ -129,8 +133,11 @@ class FifoDispatchSteering:
         for operand in outstanding[:2]:
             placement = self._behind_producer(view, operand)
             if placement is not None:
+                self.last_rule = "behind_producer"
                 return placement
-        return self._new_fifo(view)
+        placement = self._new_fifo(view)
+        self.last_rule = "new_fifo" if placement is not None else ""
+        return placement
 
 
 class WindowDispatchSteering(FifoDispatchSteering):
@@ -156,6 +163,7 @@ class ModuloSteering:
             raise ValueError("cluster_count must be >= 1")
         self.cluster_count = cluster_count
         self._next = 0
+        self.last_rule = "modulo"
 
     def reset(self) -> None:
         """Restart the rotation (for a fresh run)."""
@@ -184,6 +192,7 @@ class LeastLoadedSteering:
         if cluster_count < 1:
             raise ValueError("cluster_count must be >= 1")
         self.cluster_count = cluster_count
+        self.last_rule = "least_loaded"
 
     def reset(self) -> None:
         """Stateless; present for interface symmetry."""
@@ -217,6 +226,7 @@ class RandomSteering:
         self.cluster_count = cluster_count
         self._rng = Lcg(seed)
         self._seed = seed
+        self.last_rule = "random"
 
     def reset(self) -> None:
         """Restart the random sequence (for a fresh run)."""

@@ -1,0 +1,77 @@
+"""Tests for the host-profiling harness (``repro.obs.profiling``)."""
+
+from repro.core.machines import baseline_8way
+from repro.obs import ProfileReport, profile_simulation
+from repro.obs.events import EventTracer
+from repro.obs.profiling import STAGE_METHODS, profile_run
+from repro.uarch.pipeline import simulate
+from repro.workloads import get_trace
+
+
+class TestProfileSimulation:
+    def test_stats_match_unprofiled_run(self):
+        trace = get_trace("li", 1_500)
+        config = baseline_8way()
+        plain = simulate(config, trace)
+        stats, report = profile_simulation(config, trace)
+        assert stats.to_dict() == plain.to_dict()
+        assert report.cycles == stats.cycles
+        assert report.instructions == stats.committed
+
+    def test_all_stages_timed(self):
+        stats, report = profile_simulation(
+            baseline_8way(), get_trace("gcc", 1_500)
+        )
+        assert set(report.stage_seconds) == {
+            label for _, label in STAGE_METHODS
+        }
+        assert all(v >= 0 for v in report.stage_seconds.values())
+        assert sum(report.stage_seconds.values()) <= report.wall_seconds
+
+    def test_rates_positive(self):
+        _, report = profile_simulation(baseline_8way(), get_trace("li", 1_000))
+        assert report.wall_seconds > 0
+        assert report.instructions_per_second > 0
+        assert report.cycles_per_second > 0
+        assert report.overhead_seconds >= 0
+
+    def test_profiling_composes_with_tracer(self):
+        tracer = EventTracer()
+        stats, report = profile_simulation(
+            baseline_8way(), get_trace("li", 1_000), tracer=tracer
+        )
+        assert tracer.emitted > 0
+        assert report.instructions == stats.committed
+
+    def test_format_report_mentions_every_stage(self):
+        _, report = profile_simulation(baseline_8way(), get_trace("li", 800))
+        text = report.format_report()
+        assert isinstance(report, ProfileReport)
+        for _, label in STAGE_METHODS:
+            assert label in text
+        assert "instructions/s" in text
+
+    def test_instrumentation_does_not_leak(self):
+        """Profiling patches bound methods on one instance only."""
+        from repro.uarch.pipeline import PipelineSimulator
+
+        profile_simulation(baseline_8way(), get_trace("li", 500))
+        fresh = PipelineSimulator(baseline_8way(), get_trace("li", 500))
+        assert "_fetch" not in vars(fresh)
+        assert fresh.run().committed == 500
+
+
+class TestProfileRun:
+    def test_returns_result_and_seconds(self):
+        trace = get_trace("li", 500)
+        stats, seconds = profile_run(simulate, baseline_8way(), trace)
+        assert stats.committed == 500
+        assert seconds > 0
+
+    def test_passes_keyword_arguments(self):
+        tracer = EventTracer()
+        stats, _ = profile_run(
+            simulate, baseline_8way(), get_trace("li", 500), tracer=tracer
+        )
+        assert stats.committed == 500
+        assert tracer.emitted > 0

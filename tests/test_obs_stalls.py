@@ -1,0 +1,186 @@
+"""Tests for stall attribution and the SimStats invariants."""
+
+import pytest
+
+from repro.core.machines import (
+    baseline_8way,
+    clustered_dependence_8way,
+    clustered_exec_steer_8way,
+    clustered_random_8way,
+    clustered_windows_8way,
+    dependence_based_8way,
+)
+from repro.uarch.pipeline import simulate
+from repro.uarch.stats import SimStats, StallCause
+from repro.workloads import WORKLOAD_NAMES, get_trace
+
+MACHINE_FACTORIES = (
+    baseline_8way,
+    dependence_based_8way,
+    clustered_dependence_8way,
+    clustered_windows_8way,
+    clustered_exec_steer_8way,
+    clustered_random_8way,
+)
+
+
+class TestCycleAttribution:
+    @pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+    def test_breakdown_sums_to_cycles_all_workloads(self, workload):
+        """Acceptance: per-cause stall breakdowns sum exactly to total
+        cycles on all seven SPEC'95 workloads."""
+        for factory in MACHINE_FACTORIES:
+            stats = simulate(factory(), get_trace(workload, 2_000))
+            attributed = stats.active_cycles + sum(stats.stall_cycles.values())
+            assert attributed == stats.cycles, (
+                f"{factory.__name__} on {workload}: "
+                f"{attributed} != {stats.cycles}"
+            )
+            stats.validate()
+
+    def test_causes_are_enum_members(self):
+        stats = simulate(clustered_dependence_8way(), get_trace("gcc", 2_000))
+        assert all(isinstance(c, StallCause) for c in stats.stall_cycles)
+        assert all(isinstance(c, StallCause) for c in stats.dispatch_stalls)
+
+    def test_fifo_machine_attributes_no_fifo(self):
+        stats = simulate(clustered_dependence_8way(), get_trace("li", 2_000))
+        assert stats.stall_cycles.get(StallCause.NO_FIFO, 0) > 0
+
+    def test_tiny_window_attributes_backpressure(self):
+        config = baseline_8way(window_size=4)
+        stats = simulate(config, get_trace("compress", 2_000))
+        backpressure = (
+            stats.stall_cycles.get(StallCause.WINDOW_FULL, 0)
+            + stats.stall_cycles.get(StallCause.FU_CONTENTION, 0)
+            + stats.stall_cycles.get(StallCause.CACHE_PORT, 0)
+            + stats.stall_cycles.get(StallCause.LOAD_STORE_ORDER, 0)
+        )
+        assert backpressure > 0
+
+    def test_drain_cycles_present(self):
+        stats = simulate(baseline_8way(), get_trace("gcc", 1_000))
+        assert stats.stall_cycles.get(StallCause.DRAIN, 0) >= 1
+
+    def test_breakdown_rows_cover_cycles(self):
+        stats = simulate(baseline_8way(), get_trace("perl", 1_000))
+        rows = stats.stall_breakdown()
+        assert rows[0][0] == "active"
+        assert sum(cycles for _, cycles, _ in rows) == stats.cycles
+
+
+class TestNoteStallClosedEnum:
+    def test_string_values_coerce(self):
+        stats = SimStats()
+        stats.note_stall("window_full")
+        assert stats.dispatch_stalls == {StallCause.WINDOW_FULL: 1}
+
+    def test_unknown_cause_rejected(self):
+        stats = SimStats()
+        with pytest.raises(ValueError):
+            stats.note_stall("window-is-full")
+
+    def test_attribute_cycle_rejects_unknown(self):
+        stats = SimStats()
+        with pytest.raises(ValueError):
+            stats.attribute_cycle("bogus")
+
+
+class TestValidate:
+    def _completed_run(self):
+        return simulate(baseline_8way(), get_trace("li", 1_000))
+
+    def test_real_run_validates(self):
+        assert self._completed_run().validate() is not None
+
+    def test_committed_exceeding_fetched_rejected(self):
+        stats = self._completed_run()
+        stats.fetched = stats.committed - 1
+        with pytest.raises(ValueError, match="exceeds fetched"):
+            stats.validate()
+
+    def test_histogram_mismatch_rejected(self):
+        stats = self._completed_run()
+        stats.issue_histogram[4] = stats.issue_histogram.get(4, 0) + 1
+        with pytest.raises(ValueError, match="issue histogram"):
+            stats.validate()
+
+    def test_attribution_gap_rejected(self):
+        stats = self._completed_run()
+        stats.active_cycles -= 1
+        with pytest.raises(ValueError, match="cycle attribution"):
+            stats.validate()
+
+    def test_non_enum_key_rejected(self):
+        stats = self._completed_run()
+        stats.stall_cycles = dict(stats.stall_cycles)
+        # sneak a raw string past note_stall's coercion
+        cause = stats.stall_cycles.pop(StallCause.FETCH_STARVED, 0)
+        stats.stall_cycles[object()] = cause
+        with pytest.raises(ValueError):
+            stats.validate()
+
+
+class TestMerge:
+    def test_merged_counters_add_and_validate(self):
+        config = baseline_8way()
+        a = simulate(config, get_trace("li", 1_000))
+        b = simulate(config, get_trace("gcc", 1_000))
+        merged = a.merge(b)
+        assert merged.committed == a.committed + b.committed
+        assert merged.cycles == a.cycles + b.cycles
+        assert merged.workload == "li+gcc"
+        merged.validate()
+
+    def test_merge_accumulates_dicts(self):
+        a = SimStats(machine="m")
+        b = SimStats(machine="m")
+        a.note_stall(StallCause.WINDOW_FULL)
+        b.note_stall(StallCause.WINDOW_FULL)
+        b.note_stall(StallCause.NO_FIFO)
+        merged = a.merge(b)
+        assert merged.dispatch_stalls == {
+            StallCause.WINDOW_FULL: 2,
+            StallCause.NO_FIFO: 1,
+        }
+
+    def test_cross_machine_merge_rejected(self):
+        with pytest.raises(ValueError, match="different machines"):
+            SimStats(machine="a").merge(SimStats(machine="b"))
+
+    def test_suite_aggregation_path(self):
+        """Multi-workload tables aggregate through merge, one path."""
+        config = dependence_based_8way()
+        runs = [
+            simulate(config, get_trace(w, 500)) for w in WORKLOAD_NAMES
+        ]
+        total = runs[0]
+        for stats in runs[1:]:
+            total = total.merge(stats)
+        total.validate()
+        assert total.committed == sum(r.committed for r in runs)
+        assert total.workload == "+".join(WORKLOAD_NAMES)
+
+
+class TestSerialisationRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        stats = simulate(clustered_dependence_8way(), get_trace("vortex", 1_000))
+        clone = SimStats.from_dict(stats.to_dict())
+        assert clone == stats
+        clone.validate()
+
+    def test_wire_format_uses_cause_values(self):
+        stats = SimStats()
+        stats.attribute_cycle(StallCause.NO_FIFO)
+        payload = stats.to_dict()
+        assert payload["stall_cycles"] == {"no_fifo": 1}
+
+    def test_from_dict_rejects_unknown_cause(self):
+        with pytest.raises(ValueError):
+            SimStats.from_dict({"stall_cycles": {"made_up": 3}})
+
+    def test_json_compatible(self):
+        import json
+
+        stats = simulate(baseline_8way(), get_trace("go", 500))
+        json.loads(json.dumps(stats.to_dict()))

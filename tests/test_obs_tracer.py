@@ -1,0 +1,185 @@
+"""Tests for the structured pipeline event tracer."""
+
+import pytest
+
+from repro.core.machines import (
+    baseline_8way,
+    clustered_dependence_8way,
+    clustered_exec_steer_8way,
+    dependence_based_8way,
+)
+from repro.isa import assemble, run_to_trace
+from repro.obs import EventKind, EventTracer
+from repro.obs.events import LIFECYCLE_ORDER
+from repro.uarch.pipeline import PipelineSimulator
+from repro.workloads import get_trace
+
+TINY = "li r1, 0\nli r2, 1\naddu r1, r1, r2\nhalt\n"
+
+
+def traced_run(source_or_trace, config=None, capacity=EventTracer.DEFAULT_CAPACITY):
+    if isinstance(source_or_trace, str):
+        trace = run_to_trace(assemble(source_or_trace))
+    else:
+        trace = source_or_trace
+    tracer = EventTracer(capacity=capacity)
+    simulator = PipelineSimulator(config or baseline_8way(), trace, tracer=tracer)
+    stats = simulator.run()
+    return tracer, stats
+
+
+class TestGoldenSequence:
+    """A three-instruction program produces the exact event stream."""
+
+    def test_exact_event_sequence(self):
+        tracer, _ = traced_run(TINY)
+        observed = [(e.cycle, e.kind, e.seq) for e in tracer.events]
+        # Fetch cycle 0; front_end_stages=2 delays dispatch to cycle 2
+        # (steer + rename + dispatch per instruction); independent lis
+        # issue cycle 3; the addu wakes and issues cycle 4; retire in
+        # order cycles 5-6.
+        assert observed == [
+            (0, EventKind.FETCH, 0),
+            (0, EventKind.FETCH, 1),
+            (0, EventKind.FETCH, 2),
+            (2, EventKind.STEER, 0),
+            (2, EventKind.RENAME, 0),
+            (2, EventKind.DISPATCH, 0),
+            (2, EventKind.STEER, 1),
+            (2, EventKind.RENAME, 1),
+            (2, EventKind.DISPATCH, 1),
+            (2, EventKind.STEER, 2),
+            (2, EventKind.RENAME, 2),
+            (2, EventKind.DISPATCH, 2),
+            (3, EventKind.SELECT, 0),
+            (3, EventKind.ISSUE, 0),
+            (3, EventKind.EXECUTE, 0),
+            (3, EventKind.SELECT, 1),
+            (3, EventKind.ISSUE, 1),
+            (3, EventKind.EXECUTE, 1),
+            (4, EventKind.WAKEUP, 2),
+            (4, EventKind.SELECT, 2),
+            (4, EventKind.ISSUE, 2),
+            (4, EventKind.EXECUTE, 2),
+            (5, EventKind.COMMIT, 0),
+            (5, EventKind.COMMIT, 1),
+            (6, EventKind.COMMIT, 2),
+        ]
+
+    def test_fetch_carries_opcode(self):
+        tracer, _ = traced_run(TINY)
+        fetches = [e for e in tracer.events if e.kind is EventKind.FETCH]
+        assert [e.detail for e in fetches] == ["li", "li", "addu"]
+
+    def test_rename_records_mapping(self):
+        tracer, _ = traced_run(TINY)
+        renames = [e for e in tracer.events if e.kind is EventKind.RENAME]
+        assert all(e.detail.startswith("r") and "->p" in e.detail
+                   for e in renames)
+
+    def test_execute_duration_is_latency(self):
+        tracer, _ = traced_run(TINY)
+        executes = [e for e in tracer.events if e.kind is EventKind.EXECUTE]
+        assert [e.dur for e in executes] == [1, 1, 1]
+
+
+@pytest.mark.parametrize("factory", [
+    baseline_8way,
+    dependence_based_8way,
+    clustered_dependence_8way,
+    clustered_exec_steer_8way,
+])
+@pytest.mark.parametrize("workload", ["gcc", "li", "compress"])
+class TestLifecycleChains:
+    """Every committed instruction has a complete, ordered chain."""
+
+    def test_chains_complete_and_monotonic(self, factory, workload):
+        tracer, stats = traced_run(get_trace(workload, 1_500), factory())
+        chains = tracer.chains()
+        assert len(chains) == stats.committed
+        for seq, chain in chains.items():
+            cycles = {}
+            for event in chain:
+                # first occurrence per kind
+                cycles.setdefault(event.kind, event.cycle)
+            missing = [k.value for k in LIFECYCLE_ORDER if k not in cycles]
+            assert not missing, f"instruction {seq} missing {missing}"
+            milestones = [cycles[k] for k in LIFECYCLE_ORDER]
+            assert milestones == sorted(milestones), (
+                f"instruction {seq} lifecycle out of order: {milestones}"
+            )
+            # fetch precedes dispatch (front end), dispatch precedes
+            # issue (can't issue the cycle it enters the window), and
+            # commit strictly follows issue (1-cycle minimum latency).
+            assert cycles[EventKind.FETCH] < cycles[EventKind.DISPATCH]
+            assert cycles[EventKind.DISPATCH] < cycles[EventKind.ISSUE]
+            assert cycles[EventKind.ISSUE] < cycles[EventKind.COMMIT]
+
+    def test_event_stream_cycle_ordered(self, factory, workload):
+        tracer, _ = traced_run(get_trace(workload, 1_500), factory())
+        cycles = [e.cycle for e in tracer.events]
+        assert cycles == sorted(cycles)
+
+
+class TestRingBuffer:
+    def test_eviction_is_counted(self):
+        tracer, stats = traced_run(get_trace("gcc", 1_000), capacity=64)
+        assert len(tracer) == 64
+        assert tracer.dropped == tracer.emitted - 64
+        assert tracer.dropped > 0
+        assert stats.committed == 1_000  # tracing never perturbs timing
+
+    def test_unbounded_capacity(self):
+        tracer, _ = traced_run(TINY, capacity=None)
+        assert tracer.dropped == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            EventTracer(capacity=0)
+
+    def test_clear(self):
+        tracer, _ = traced_run(TINY)
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.emitted == 0
+
+    def test_events_for(self):
+        tracer, _ = traced_run(TINY)
+        kinds = [e.kind for e in tracer.events_for(2)]
+        assert kinds == [
+            EventKind.FETCH, EventKind.STEER, EventKind.RENAME,
+            EventKind.DISPATCH, EventKind.WAKEUP, EventKind.SELECT,
+            EventKind.ISSUE, EventKind.EXECUTE, EventKind.COMMIT,
+        ]
+
+
+class TestTracingIsPureObservation:
+    """Attaching a tracer must not change simulated timing."""
+
+    @pytest.mark.parametrize("factory", [baseline_8way, clustered_dependence_8way])
+    def test_identical_stats_with_and_without_tracer(self, factory):
+        trace = get_trace("m88ksim", 2_000)
+        plain = PipelineSimulator(factory(), trace).run()
+        traced = PipelineSimulator(
+            factory(), trace, tracer=EventTracer()
+        ).run()
+        assert plain.to_dict() == traced.to_dict()
+
+
+class TestSquashEvents:
+    def test_mispredicts_emit_squash(self):
+        tracer, stats = traced_run(get_trace("gcc", 2_000))
+        squashes = [e for e in tracer.events if e.kind is EventKind.SQUASH]
+        assert len(squashes) == stats.mispredicts
+        assert all(e.detail == "mispredict" for e in squashes)
+
+
+class TestBypassEvents:
+    def test_clustered_machine_emits_bypasses(self):
+        tracer, stats = traced_run(
+            get_trace("gcc", 2_000), clustered_dependence_8way()
+        )
+        bypasses = {
+            e.seq for e in tracer.events if e.kind is EventKind.BYPASS
+        }
+        assert stats.inter_cluster_bypasses > 0
+        assert len(bypasses) == stats.inter_cluster_bypasses

@@ -4,13 +4,16 @@ import pytest
 
 from repro.core.machines import baseline_8way, dependence_based_8way
 from repro.isa import assemble, run_to_trace
+from repro.obs import EventTracer
 from repro.report import render_timeline
 from repro.uarch.pipeline import PipelineSimulator
 
 
 def simulated(source, config=None):
     trace = run_to_trace(assemble(source))
-    simulator = PipelineSimulator(config or baseline_8way(), trace)
+    simulator = PipelineSimulator(
+        config or baseline_8way(), trace, tracer=EventTracer()
+    )
     simulator.run()
     return simulator
 
@@ -77,3 +80,19 @@ class TestRenderTimeline:
     def test_works_on_fifo_machine(self):
         simulator = simulated(SERIAL, dependence_based_8way())
         assert "I" in render_timeline(simulator, 0, 8)
+
+    def test_requires_tracer(self):
+        trace = run_to_trace(assemble(SERIAL))
+        simulator = PipelineSimulator(baseline_8way(), trace)
+        simulator.run()
+        with pytest.raises(ValueError, match="tracer"):
+            render_timeline(simulator, 0, 4)
+
+    def test_evicted_events_reported(self):
+        trace = run_to_trace(assemble(SERIAL))
+        simulator = PipelineSimulator(
+            baseline_8way(), trace, tracer=EventTracer(capacity=4)
+        )
+        simulator.run()
+        with pytest.raises(ValueError, match="evicted"):
+            render_timeline(simulator, 0, 4)
