@@ -8,8 +8,9 @@ the pytest-benchmark timing table), so ``pytest benchmarks/
 data.
 
 Simulation length is controlled by the ``REPRO_BENCH_INSTRUCTIONS``
-environment variable (default 12000 dynamic instructions per
-benchmark program; the paper ran up to 0.5 B on real SPEC'95).
+environment variable (default
+``repro.core.experiments.DEFAULT_INSTRUCTIONS`` dynamic instructions
+per benchmark program; the paper ran up to 0.5 B on real SPEC'95).
 
 Machine-readable output: set ``REPRO_BENCH_METRICS=/path/to.json``
 and every run registered through the ``metrics_record`` fixture is
@@ -23,7 +24,12 @@ import os
 
 import pytest
 
-from repro.core.experiments import run_fig13, run_fig15, run_fig17
+from repro.core.experiments import (
+    DEFAULT_INSTRUCTIONS,
+    run_fig13,
+    run_fig15,
+    run_fig17,
+)
 
 #: (title, text) report blocks, in registration order.
 _REPORTS: list[tuple[str, str]] = []
@@ -33,8 +39,14 @@ _METRICS: list[dict] = []
 
 
 def bench_instructions() -> int:
-    """Dynamic instructions per simulated benchmark run."""
-    return int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "12000"))
+    """Dynamic instructions per simulated benchmark run.
+
+    Single-sourced from :data:`repro.core.experiments.DEFAULT_INSTRUCTIONS`
+    so the benchmarks and the experiment drivers cannot drift apart.
+    """
+    return int(
+        os.environ.get("REPRO_BENCH_INSTRUCTIONS", str(DEFAULT_INSTRUCTIONS))
+    )
 
 
 @pytest.fixture

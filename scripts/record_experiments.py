@@ -15,7 +15,12 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
-from repro.core.experiments import run_fig13, run_fig15, run_fig17
+from repro.core.experiments import (
+    DEFAULT_INSTRUCTIONS,
+    run_fig13,
+    run_fig15,
+    run_fig17,
+)
 from repro.core.frontier import (
     conventional_frontier,
     dependence_based_point,
@@ -28,7 +33,10 @@ from repro.technology import TECH_018
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("-n", "--instructions", type=int, default=20_000)
+    parser.add_argument("-n", "--instructions", type=int,
+                        default=DEFAULT_INSTRUCTIONS)
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="campaign worker processes (default 1)")
     parser.add_argument("-o", "--output", default="results")
     args = parser.parse_args()
 
@@ -41,9 +49,9 @@ def main() -> int:
 
     print(f"running figure campaigns at {args.instructions} instructions...")
     campaigns = {
-        "fig13": run_fig13(max_instructions=args.instructions),
-        "fig15": run_fig15(max_instructions=args.instructions),
-        "fig17": run_fig17(max_instructions=args.instructions),
+        "fig13": run_fig13(max_instructions=args.instructions, jobs=args.jobs),
+        "fig15": run_fig15(max_instructions=args.instructions, jobs=args.jobs),
+        "fig17": run_fig17(max_instructions=args.instructions, jobs=args.jobs),
     }
     for name, result in campaigns.items():
         save_result(result, output / f"{name}.json")

@@ -10,6 +10,8 @@ Commands:
 * ``trace``      -- emit a structured event trace (Chrome/Perfetto
   JSON, metrics JSON, or a text timeline).
 * ``experiment`` -- regenerate fig13 / fig15 / fig17 / speedup.
+* ``campaign``   -- run a figure grid on the parallel campaign engine
+  (worker pool, on-disk result cache, per-cell timeout/retry).
 * ``asm``        -- assemble, run, and optionally simulate a program.
 """
 
@@ -20,6 +22,7 @@ import sys
 
 from repro.analysis import profile_trace
 from repro.core import experiments, machines, speedup
+from repro.core.experiments import DEFAULT_INSTRUCTIONS
 from repro.delay.reservation import ReservationTableDelayModel
 from repro.delay.summary import overall_delays
 from repro.isa import assemble, run_to_trace
@@ -235,6 +238,49 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    from repro.core.campaign import ResultCache, run_campaign
+    from repro.core.results_io import save_result
+
+    try:
+        configs = experiments.figure_configs(args.which)
+    except KeyError as error:
+        print(f"repro campaign: error: {error}", file=sys.stderr)
+        return 2
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+    progress = None
+    if args.verbose:
+        progress = lambda line: print(f"  {line}", file=sys.stderr)  # noqa: E731
+    result, profile = run_campaign(
+        configs,
+        max_instructions=args.instructions,
+        name=args.which,
+        jobs=args.jobs,
+        cache=cache,
+        timeout=args.timeout,
+        retries=args.retries,
+        progress=progress,
+    )
+    print(result.format_table())
+    if args.which == "fig17":
+        print("\ninter-cluster bypass frequency:")
+        print(result.format_table("bypass"))
+    print("\ncampaign profile:")
+    print(profile.format_report())
+    if args.out:
+        save_result(result, args.out)
+        print(f"  result written to {args.out}")
+    if args.metrics:
+        import json
+
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            json.dump(profile.to_dict(), handle, indent=1, sort_keys=True)
+        print(f"  campaign metrics written to {args.metrics}")
+    return 0
+
+
 def _cmd_compile(args) -> int:
     from repro.lang import compile_source, compile_to_assembly
 
@@ -301,7 +347,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate = commands.add_parser("simulate", help="run one machine on one workload")
     simulate.add_argument("machine", choices=sorted(MACHINES))
     simulate.add_argument("workload", choices=WORKLOAD_NAMES)
-    simulate.add_argument("-n", "--instructions", type=int, default=20_000)
+    simulate.add_argument("-n", "--instructions", type=int,
+                          default=DEFAULT_INSTRUCTIONS,
+                          help=f"dynamic instructions "
+                               f"(default {DEFAULT_INSTRUCTIONS})")
     simulate.add_argument("-v", "--verbose", action="store_true")
     simulate.set_defaults(func=_cmd_simulate)
 
@@ -310,7 +359,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats_cmd.add_argument("machine", choices=sorted(MACHINES))
     stats_cmd.add_argument("workload", choices=WORKLOAD_NAMES + ("synthetic",))
-    stats_cmd.add_argument("-n", "--instructions", type=int, default=20_000)
+    stats_cmd.add_argument("-n", "--instructions", type=int,
+                           default=DEFAULT_INSTRUCTIONS,
+                           help=f"dynamic instructions "
+                                f"(default {DEFAULT_INSTRUCTIONS})")
     stats_cmd.add_argument("--breakdown", action="store_true",
                            help="print per-cause cycle attribution")
     stats_cmd.add_argument("--json", default=None, metavar="PATH",
@@ -341,6 +393,36 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("which", choices=("fig13", "fig15", "fig17", "speedup"))
     experiment.add_argument("-n", "--instructions", type=int, default=15_000)
     experiment.set_defaults(func=_cmd_experiment)
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="run a figure grid on the parallel campaign engine",
+    )
+    campaign.add_argument("which", choices=("fig13", "fig15", "fig17"))
+    campaign.add_argument("-n", "--instructions", type=int,
+                          default=DEFAULT_INSTRUCTIONS,
+                          help=f"dynamic instructions per cell "
+                               f"(default {DEFAULT_INSTRUCTIONS})")
+    campaign.add_argument("-j", "--jobs", type=int, default=1,
+                          help="worker processes (default 1 = serial)")
+    campaign.add_argument("--cache-dir", default=".repro-cache",
+                          help="result cache directory "
+                               "(default .repro-cache)")
+    campaign.add_argument("--no-cache", action="store_true",
+                          help="simulate every cell, read/write no cache")
+    campaign.add_argument("--timeout", type=float, default=None,
+                          help="per-cell seconds before retry "
+                               "(default: no timeout)")
+    campaign.add_argument("--retries", type=int, default=1,
+                          help="resubmissions per failed/timed-out cell "
+                               "before serial fallback (default 1)")
+    campaign.add_argument("--out", default=None, metavar="PATH",
+                          help="also write the result JSON (results_io)")
+    campaign.add_argument("--metrics", default=None, metavar="PATH",
+                          help="also write campaign profile JSON")
+    campaign.add_argument("-v", "--verbose", action="store_true",
+                          help="per-cell progress on stderr")
+    campaign.set_defaults(func=_cmd_campaign)
 
     timeline = commands.add_parser("timeline", help="render a pipeline timeline")
     timeline.add_argument("machine", choices=sorted(MACHINES))

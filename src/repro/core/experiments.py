@@ -11,9 +11,8 @@ from dataclasses import dataclass, field
 
 from repro.core import machines as machine_factories
 from repro.uarch.config import MachineConfig
-from repro.uarch.pipeline import simulate
 from repro.uarch.stats import SimStats
-from repro.workloads import WORKLOAD_NAMES, get_trace
+from repro.workloads import WORKLOAD_NAMES
 
 #: Default dynamic instructions per benchmark.  The paper ran up to
 #: 0.5 B; these kernels reach steady state within a few thousand.
@@ -84,54 +83,101 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
+def figure_configs(which: str) -> dict[str, MachineConfig]:
+    """The (name -> config) grid of one of the simulated figures.
+
+    Args:
+        which: ``"fig13"``, ``"fig15"``, or ``"fig17"``.
+
+    Raises:
+        KeyError: for an unknown figure name.
+    """
+    grids = {
+        "fig13": lambda: {
+            "baseline": machine_factories.baseline_8way(),
+            "dependence-based": machine_factories.dependence_based_8way(),
+        },
+        "fig15": lambda: {
+            "window-based 8-way": machine_factories.baseline_8way(),
+            "2-cluster dependence-based":
+                machine_factories.clustered_dependence_8way(),
+        },
+        "fig17": machine_factories.fig17_machines,
+    }
+    if which not in grids:
+        known = ", ".join(sorted(grids))
+        raise KeyError(f"unknown figure {which!r} (known: {known})")
+    return grids[which]()
+
+
 def run_machines(
     configs: dict[str, MachineConfig],
     workloads: tuple[str, ...] = WORKLOAD_NAMES,
     max_instructions: int = DEFAULT_INSTRUCTIONS,
     name: str = "custom",
+    **campaign_options,
 ) -> ExperimentResult:
-    """Simulate a set of machines over a set of benchmarks."""
-    result = ExperimentResult(
-        name=name, machine_names=list(configs), workloads=list(workloads)
+    """Simulate a set of machines over a set of benchmarks.
+
+    Runs on the campaign engine (:mod:`repro.core.campaign`); by
+    default serially in-process, exactly as the seed did.  Extra
+    keyword arguments (``jobs``, ``cache``, ``timeout``, ``retries``,
+    ``progress``) are forwarded to
+    :func:`~repro.core.campaign.run_campaign` -- cell results are
+    deterministic, so every setting yields the identical result.
+    """
+    # Imported here, not at module top: campaign builds on this
+    # module's ExperimentResult, so the top-level import runs the
+    # other way around.
+    from repro.core.campaign import run_campaign
+
+    result, _ = run_campaign(
+        configs,
+        workloads=workloads,
+        max_instructions=max_instructions,
+        name=name,
+        **campaign_options,
     )
-    for machine_name, config in configs.items():
-        per_workload: dict[str, SimStats] = {}
-        for workload in workloads:
-            trace = get_trace(workload, max_instructions)
-            per_workload[workload] = simulate(config, trace)
-        result.stats[machine_name] = per_workload
     return result
 
 
-def run_fig13(max_instructions: int = DEFAULT_INSTRUCTIONS) -> ExperimentResult:
+def run_fig13(
+    max_instructions: int = DEFAULT_INSTRUCTIONS, **campaign_options
+) -> ExperimentResult:
     """Figure 13: baseline window vs. single-cluster dependence-based.
 
     Paper result: the dependence-based machine extracts similar
     parallelism -- within 5% for five of seven benchmarks, worst case
     8% (li).
     """
-    configs = {
-        "baseline": machine_factories.baseline_8way(),
-        "dependence-based": machine_factories.dependence_based_8way(),
-    }
-    return run_machines(configs, max_instructions=max_instructions, name="fig13")
+    return run_machines(
+        figure_configs("fig13"),
+        max_instructions=max_instructions,
+        name="fig13",
+        **campaign_options,
+    )
 
 
-def run_fig15(max_instructions: int = DEFAULT_INSTRUCTIONS) -> ExperimentResult:
+def run_fig15(
+    max_instructions: int = DEFAULT_INSTRUCTIONS, **campaign_options
+) -> ExperimentResult:
     """Figure 15: baseline vs. the 2x4-way clustered dependence-based
     machine with 2-cycle inter-cluster bypasses.
 
     Paper result: nearly as effective; worst cases m88ksim (-12%) and
     compress (-9%) due to inter-cluster bypass latency.
     """
-    configs = {
-        "window-based 8-way": machine_factories.baseline_8way(),
-        "2-cluster dependence-based": machine_factories.clustered_dependence_8way(),
-    }
-    return run_machines(configs, max_instructions=max_instructions, name="fig15")
+    return run_machines(
+        figure_configs("fig15"),
+        max_instructions=max_instructions,
+        name="fig15",
+        **campaign_options,
+    )
 
 
-def run_fig17(max_instructions: int = DEFAULT_INSTRUCTIONS) -> ExperimentResult:
+def run_fig17(
+    max_instructions: int = DEFAULT_INSTRUCTIONS, **campaign_options
+) -> ExperimentResult:
     """Figure 17: the five clustered organisations (IPC and
     inter-cluster bypass frequency).
 
@@ -144,4 +190,5 @@ def run_fig17(max_instructions: int = DEFAULT_INSTRUCTIONS) -> ExperimentResult:
         machine_factories.fig17_machines(),
         max_instructions=max_instructions,
         name="fig17",
+        **campaign_options,
     )

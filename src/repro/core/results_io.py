@@ -36,6 +36,41 @@ def stats_from_dict(payload: dict) -> SimStats:
     return SimStats.from_dict(payload)
 
 
+def stats_payload(stats: SimStats) -> dict:
+    """Wrap one run's stats as a self-describing, versioned document.
+
+    This is the on-disk format of a single campaign cache cell (see
+    :mod:`repro.core.campaign`): the ``SimStats.to_dict`` payload under
+    a ``kind`` marker and the module :data:`FORMAT_VERSION`, so stale
+    or foreign files are rejected by :func:`stats_from_payload` rather
+    than misread.
+    """
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "repro-cell-stats",
+        "stats": stats_to_dict(stats),
+    }
+
+
+def stats_from_payload(payload: dict) -> SimStats:
+    """Inverse of :func:`stats_payload`.
+
+    Raises:
+        ValueError: if the payload is not a cell-stats document of a
+            readable format version.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("cell payload must be a JSON object")
+    if payload.get("kind") != "repro-cell-stats":
+        raise ValueError(f"not a cell-stats payload: {payload.get('kind')!r}")
+    if payload.get("format_version") not in _READABLE_VERSIONS:
+        raise ValueError(
+            f"unsupported cell-stats format {payload.get('format_version')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    return stats_from_dict(payload["stats"])
+
+
 def result_to_dict(result: ExperimentResult) -> dict:
     """Convert an experiment result to JSON-ready primitives."""
     return {

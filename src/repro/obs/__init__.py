@@ -24,7 +24,12 @@ from repro.obs.export import (
     write_chrome_trace,
     write_metrics_json,
 )
-from repro.obs.profiling import ProfileReport, profile_simulation
+from repro.obs.profiling import (
+    CampaignProfile,
+    CellTiming,
+    ProfileReport,
+    profile_simulation,
+)
 
 __all__ = [
     "EventKind",
@@ -35,6 +40,8 @@ __all__ = [
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_metrics_json",
+    "CampaignProfile",
+    "CellTiming",
     "ProfileReport",
     "profile_simulation",
 ]

@@ -130,6 +130,125 @@ def profile_simulation(config, trace, max_cycles=None, tracer=None):
     return stats, report
 
 
+@dataclass
+class CellTiming:
+    """Wall-clock record of one campaign cell.
+
+    Attributes:
+        label: ``machine/workload`` identifier.
+        seconds: Simulation wall-clock (0.0 for cache hits).
+        instructions: Committed instructions in the cell.
+        source: ``"simulated"`` or ``"cache"``.
+    """
+
+    label: str
+    seconds: float
+    instructions: int
+    source: str = "simulated"
+
+
+@dataclass
+class CampaignProfile:
+    """Observability record of one campaign run.
+
+    The campaign engine (:mod:`repro.core.campaign`) reports every
+    cell here as it completes -- cache hit or simulation, with
+    per-cell wall-clock -- plus the failure-handling counters, so a
+    run can answer "what did the cache save?", "did anything retry or
+    degrade to serial?", and "how many simulated instructions per
+    host second did the fleet sustain?".
+    """
+
+    jobs: int = 1
+    wall_seconds: float = 0.0
+    cells: list[CellTiming] = field(default_factory=list)
+    retries: int = 0
+    timeouts: int = 0
+    serial_fallbacks: int = 0
+
+    def note_cell(self, label: str, seconds: float, instructions: int,
+                  source: str = "simulated") -> None:
+        """Record one completed cell."""
+        self.cells.append(CellTiming(label, seconds, instructions, source))
+
+    @property
+    def cell_count(self) -> int:
+        """All cells, cached and simulated."""
+        return len(self.cells)
+
+    @property
+    def cache_hits(self) -> int:
+        """Cells satisfied from the result cache."""
+        return sum(1 for cell in self.cells if cell.source == "cache")
+
+    @property
+    def simulated_cells(self) -> int:
+        """Cells that actually ran the simulator."""
+        return sum(1 for cell in self.cells if cell.source != "cache")
+
+    @property
+    def simulated_instructions(self) -> int:
+        """Committed instructions across simulated (non-cached) cells."""
+        return sum(
+            cell.instructions for cell in self.cells if cell.source != "cache"
+        )
+
+    @property
+    def instructions_per_second(self) -> float:
+        """Simulated instructions per host second of campaign wall."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.simulated_instructions / self.wall_seconds
+
+    def to_dict(self) -> dict:
+        """JSON-ready primitives (for the metrics exporters)."""
+        return {
+            "jobs": self.jobs,
+            "wall_seconds": self.wall_seconds,
+            "cell_count": self.cell_count,
+            "cache_hits": self.cache_hits,
+            "simulated_cells": self.simulated_cells,
+            "simulated_instructions": self.simulated_instructions,
+            "instructions_per_second": self.instructions_per_second,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "serial_fallbacks": self.serial_fallbacks,
+            "cells": [
+                {
+                    "label": cell.label,
+                    "seconds": cell.seconds,
+                    "instructions": cell.instructions,
+                    "source": cell.source,
+                }
+                for cell in self.cells
+            ],
+        }
+
+    def format_report(self) -> str:
+        """Aligned text summary of the campaign run."""
+        lines = [
+            f"  {self.cell_count} cells ({self.cache_hits} cache hits, "
+            f"{self.simulated_cells} simulated) on {self.jobs} "
+            f"worker{'s' if self.jobs != 1 else ''} "
+            f"in {self.wall_seconds:.3f} s",
+            f"  {self.simulated_instructions:,} simulated instructions "
+            f"({self.instructions_per_second:,.0f}/s)",
+        ]
+        if self.retries or self.timeouts or self.serial_fallbacks:
+            lines.append(
+                f"  degradation: {self.timeouts} timeouts, "
+                f"{self.retries} retries, "
+                f"{self.serial_fallbacks} serial fallbacks"
+            )
+        slowest = sorted(
+            (c for c in self.cells if c.source != "cache"),
+            key=lambda c: -c.seconds,
+        )[:5]
+        for cell in slowest:
+            lines.append(f"    {cell.label:40s} {cell.seconds:8.3f} s")
+        return "\n".join(lines)
+
+
 def profile_run(runner, *args, **kwargs):
     """Time an arbitrary callable returning SimStats-like results.
 

@@ -1,0 +1,339 @@
+"""Tests for the parallel campaign engine and its result cache.
+
+The load-bearing guarantee: ``jobs=1``, ``jobs=4``, and a warm-cache
+run all serialise *byte-identically* to the seed's serial loop, so
+parallelism and caching are pure speed, never a result change.
+"""
+
+import json
+import multiprocessing
+import time
+
+import pytest
+
+from repro.core import results_io
+from repro.core.campaign import (
+    CampaignCell,
+    ResultCache,
+    cache_key,
+    config_fingerprint,
+    run_campaign,
+    simulate_cell,
+)
+from repro.core.experiments import (
+    ExperimentResult,
+    figure_configs,
+    run_fig13,
+)
+from repro.core.machines import baseline_8way
+from repro.core.results_io import result_to_dict
+from repro.uarch.pipeline import simulate
+from repro.workloads import WORKLOAD_NAMES, get_trace
+
+#: Short runs keep the suite fast; equality assertions are exact.
+N = 1_000
+
+
+def serialise(result: ExperimentResult) -> str:
+    """Canonical bytes of a result (what ``save_result`` writes)."""
+    return json.dumps(result_to_dict(result), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def fig13_grid():
+    return figure_configs("fig13")
+
+
+@pytest.fixture(scope="module")
+def seed_serial_json(fig13_grid):
+    """The seed's serial path, replicated literally: one process, one
+    nested loop, no engine."""
+    result = ExperimentResult(
+        name="fig13",
+        machine_names=list(fig13_grid),
+        workloads=list(WORKLOAD_NAMES),
+    )
+    for machine, config in fig13_grid.items():
+        result.stats[machine] = {
+            workload: simulate(config, get_trace(workload, N))
+            for workload in WORKLOAD_NAMES
+        }
+    return serialise(result)
+
+
+# ----------------------------------------------------------------------
+# injectable cell runners (module-level: must survive pickling)
+# ----------------------------------------------------------------------
+
+
+def _fails_in_worker(cell: CampaignCell) -> dict:
+    """Raise in pool workers, succeed in the parent process."""
+    if multiprocessing.parent_process() is not None:
+        raise RuntimeError("injected worker failure")
+    return simulate_cell(cell)
+
+
+def _hangs_in_worker(cell: CampaignCell) -> dict:
+    """Outlive any reasonable timeout in workers; instant in parent."""
+    if multiprocessing.parent_process() is not None:
+        time.sleep(30.0)
+    return simulate_cell(cell)
+
+
+def _always_fails(cell: CampaignCell) -> dict:
+    raise RuntimeError("injected permanent failure")
+
+
+def _forbidden(cell: CampaignCell) -> dict:
+    raise AssertionError(f"cell {cell.label} simulated despite warm cache")
+
+
+class TestDeterminism:
+    """Satellite: engine output equals the seed serial path exactly."""
+
+    def test_jobs1_equals_seed(self, seed_serial_json):
+        assert serialise(run_fig13(max_instructions=N)) == seed_serial_json
+
+    def test_jobs4_equals_seed(self, fig13_grid, seed_serial_json):
+        result, profile = run_campaign(
+            fig13_grid, max_instructions=N, name="fig13", jobs=4
+        )
+        assert profile.jobs == 4
+        assert serialise(result) == seed_serial_json
+
+    def test_warm_cache_equals_seed_with_zero_simulations(
+        self, fig13_grid, seed_serial_json, tmp_path
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        cold, cold_profile = run_campaign(
+            fig13_grid, max_instructions=N, name="fig13", jobs=4, cache=cache
+        )
+        assert cold_profile.cache_hits == 0
+        assert serialise(cold) == seed_serial_json
+        # Warm rerun: every cell from cache, zero simulations -- the
+        # forbidden runner proves nothing executes.
+        warm, warm_profile = run_campaign(
+            fig13_grid, max_instructions=N, name="fig13", jobs=4,
+            cache=cache, runner=_forbidden,
+        )
+        assert warm_profile.cache_hits == warm_profile.cell_count
+        assert warm_profile.cache_hits == len(fig13_grid) * len(WORKLOAD_NAMES)
+        assert warm_profile.simulated_cells == 0
+        assert serialise(warm) == seed_serial_json
+
+    def test_stats_dicts_equal_not_just_close(self, fig13_grid):
+        result, _ = run_campaign(
+            fig13_grid, max_instructions=N, name="fig13", jobs=2
+        )
+        for machine, config in fig13_grid.items():
+            for workload in WORKLOAD_NAMES:
+                direct = simulate(config, get_trace(workload, N))
+                assert (
+                    result.stats[machine][workload].to_dict()
+                    == direct.to_dict()
+                )
+
+    def test_merge_order_is_presentation_order(self, fig13_grid):
+        result, _ = run_campaign(
+            fig13_grid, max_instructions=N, name="fig13", jobs=4
+        )
+        assert list(result.stats) == list(fig13_grid)
+        for machine in result.stats:
+            assert list(result.stats[machine]) == list(WORKLOAD_NAMES)
+
+
+class TestCacheKey:
+    """Satellite: the key covers everything that changes the result."""
+
+    def test_key_changes_with_machine_config(self):
+        assert cache_key(baseline_8way(), "li", N) != cache_key(
+            baseline_8way(issue_width=4), "li", N
+        )
+
+    def test_key_changes_with_workload(self):
+        assert cache_key(baseline_8way(), "li", N) != cache_key(
+            baseline_8way(), "gcc", N
+        )
+
+    def test_key_changes_with_instruction_count(self):
+        assert cache_key(baseline_8way(), "li", N) != cache_key(
+            baseline_8way(), "li", N + 1
+        )
+
+    def test_key_changes_with_format_version(self):
+        current = cache_key(baseline_8way(), "li", N)
+        bumped = cache_key(
+            baseline_8way(), "li", N,
+            stats_format=results_io.FORMAT_VERSION + 1,
+        )
+        assert current != bumped
+
+    def test_key_is_stable(self):
+        assert cache_key(baseline_8way(), "li", N) == cache_key(
+            baseline_8way(), "li", N
+        )
+
+    def test_fingerprint_is_json_primitives(self):
+        fingerprint = config_fingerprint(baseline_8way())
+        json.dumps(fingerprint)  # must not need custom encoders
+        assert fingerprint["steering"] == "none"
+        assert fingerprint["clusters"][0]["window_size"] == 64
+
+
+class TestResultCache:
+    """Satellite: corrupted entries are discarded, never trusted."""
+
+    @pytest.fixture
+    def entry(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        stats = simulate(baseline_8way(), get_trace("li", 500))
+        key = cache_key(baseline_8way(), "li", 500)
+        cache.store(key, stats)
+        return cache, key, stats
+
+    def test_roundtrip(self, entry):
+        cache, key, stats = entry
+        assert cache.load(key).to_dict() == stats.to_dict()
+
+    def test_missing_entry_is_none(self, tmp_path):
+        assert ResultCache(tmp_path).load("0" * 64) is None
+
+    def test_corrupted_entry_discarded(self, entry):
+        cache, key, _ = entry
+        cache.path(key).write_text("{not json at all", encoding="utf-8")
+        assert cache.load(key) is None
+        assert not cache.path(key).exists()  # unlinked, will recompute
+
+    def test_truncated_entry_discarded(self, entry):
+        cache, key, _ = entry
+        text = cache.path(key).read_text(encoding="utf-8")
+        cache.path(key).write_text(text[: len(text) // 2], encoding="utf-8")
+        assert cache.load(key) is None
+        assert not cache.path(key).exists()
+
+    def test_foreign_payload_discarded(self, entry):
+        cache, key, _ = entry
+        cache.path(key).write_text(
+            json.dumps({"kind": "something-else"}), encoding="utf-8"
+        )
+        assert cache.load(key) is None
+
+    def test_version_mismatch_discarded(self, entry):
+        cache, key, stats = entry
+        payload = results_io.stats_payload(stats)
+        payload["format_version"] = 999
+        cache.path(key).write_text(json.dumps(payload), encoding="utf-8")
+        assert cache.load(key) is None
+
+    def test_campaign_recomputes_corrupted_cells(self, tmp_path):
+        configs = {"baseline": baseline_8way()}
+        cache = ResultCache(tmp_path / "cache")
+        first, _ = run_campaign(
+            configs, workloads=("li", "gcc"), max_instructions=500,
+            cache=cache,
+        )
+        corrupt = cache.path(cache_key(baseline_8way(), "li", 500))
+        corrupt.write_text("garbage", encoding="utf-8")
+        second, profile = run_campaign(
+            configs, workloads=("li", "gcc"), max_instructions=500,
+            cache=cache,
+        )
+        assert profile.cache_hits == 1  # gcc survived
+        assert profile.simulated_cells == 1  # li recomputed, not crashed
+        assert serialise(second) == serialise(first)
+
+
+class TestFailureHandling:
+    GRID = ("li",)  # one cell keeps the failure tests fast
+
+    def test_serial_retry_then_success(self):
+        calls = {"n": 0}
+
+        def flaky(cell):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("first attempt fails")
+            return simulate_cell(cell)
+
+        result, profile = run_campaign(
+            {"baseline": baseline_8way()}, workloads=self.GRID,
+            max_instructions=500, retries=1, runner=flaky,
+        )
+        assert calls["n"] == 2
+        assert profile.retries == 1
+        assert result.stats["baseline"]["li"].committed == 500
+
+    def test_serial_retries_are_bounded(self):
+        with pytest.raises(RuntimeError, match="permanent"):
+            run_campaign(
+                {"baseline": baseline_8way()}, workloads=self.GRID,
+                max_instructions=500, retries=2, runner=_always_fails,
+            )
+
+    def test_worker_failure_degrades_to_serial(self):
+        result, profile = run_campaign(
+            {"baseline": baseline_8way()}, workloads=self.GRID,
+            max_instructions=500, jobs=2, retries=1,
+            runner=_fails_in_worker,
+        )
+        assert profile.retries == 1
+        assert profile.serial_fallbacks == 1
+        assert result.stats["baseline"]["li"].committed == 500
+
+    def test_worker_timeout_degrades_to_serial(self):
+        result, profile = run_campaign(
+            {"baseline": baseline_8way()}, workloads=self.GRID,
+            max_instructions=500, jobs=2, timeout=0.25, retries=0,
+            runner=_hangs_in_worker,
+        )
+        assert profile.timeouts == 1
+        assert profile.serial_fallbacks == 1
+        assert result.stats["baseline"]["li"].committed == 500
+
+    def test_parallel_and_fallback_results_identical(self):
+        reference, _ = run_campaign(
+            {"baseline": baseline_8way()}, workloads=self.GRID,
+            max_instructions=500,
+        )
+        degraded, _ = run_campaign(
+            {"baseline": baseline_8way()}, workloads=self.GRID,
+            max_instructions=500, jobs=2, retries=0,
+            runner=_fails_in_worker,
+        )
+        assert serialise(degraded) == serialise(reference)
+
+    def test_argument_validation(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_campaign({"baseline": baseline_8way()}, jobs=0)
+        with pytest.raises(ValueError, match="retries"):
+            run_campaign({"baseline": baseline_8way()}, retries=-1)
+
+
+class TestCampaignProfile:
+    def test_counts_and_throughput(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        _, cold = run_campaign(
+            {"baseline": baseline_8way()}, workloads=("li", "gcc"),
+            max_instructions=500, cache=cache,
+        )
+        assert cold.cell_count == 2
+        assert cold.simulated_cells == 2
+        assert cold.simulated_instructions == 1_000
+        assert cold.instructions_per_second > 0
+        payload = cold.to_dict()
+        json.dumps(payload)
+        assert payload["cache_hits"] == 0
+        assert len(payload["cells"]) == 2
+        assert "cells (0 cache hits, 2 simulated)" in cold.format_report()
+
+    def test_cell_payload_roundtrip(self):
+        stats = simulate(baseline_8way(), get_trace("li", 500))
+        payload = results_io.stats_payload(stats)
+        assert (
+            results_io.stats_from_payload(payload).to_dict()
+            == stats.to_dict()
+        )
+        with pytest.raises(ValueError, match="cell-stats"):
+            results_io.stats_from_payload({"kind": "other"})
+        with pytest.raises(ValueError, match="object"):
+            results_io.stats_from_payload([1, 2])

@@ -124,6 +124,28 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["simulate", "cray-1", "li"])
 
+    def test_campaign_command(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = ["campaign", "fig13", "-n", "800", "--jobs", "2",
+                "--cache-dir", str(cache_dir),
+                "--out", str(tmp_path / "result.json"),
+                "--metrics", str(tmp_path / "metrics.json")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "dependence-based" in out
+        assert "0 cache hits, 14 simulated" in out
+        assert (tmp_path / "result.json").exists()
+        assert (tmp_path / "metrics.json").exists()
+        # Warm rerun: the whole grid from cache, zero simulations.
+        assert main(argv) == 0
+        assert "14 cache hits, 0 simulated" in capsys.readouterr().out
+
+    def test_campaign_no_cache(self, tmp_path, capsys):
+        assert main(["campaign", "fig13", "-n", "500", "--no-cache",
+                     "--cache-dir", str(tmp_path / "unused")]) == 0
+        assert "0 cache hits" in capsys.readouterr().out
+        assert not (tmp_path / "unused").exists()
+
     def test_timeline_command(self, capsys):
         assert main(["timeline", "baseline", "li", "-n", "500",
                      "--count", "6"]) == 0
