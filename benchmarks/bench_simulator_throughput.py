@@ -7,10 +7,18 @@ complex machine, the functional emulator's execution rate, a
 per-stage host-time profile (via ``repro.obs.profiling``) showing
 where simulation time itself goes, and the event-tracing overhead.
 
-``SEED_MIN_RATE`` is the floor the seed revision asserted; the
+``MIN_RATE`` is the floor asserted after the hot-path optimization
+pass (pre-analysis arrays, inlined stages, cycle skipping -- see
+``docs/performance.md``); it is set well below the measured rates so
+CI machines clear it, but well above what the unoptimized seed could
+reach -- a regression back to the seed's hot path fails loudly.  The
 tracing-disabled overhead guard keeps the instrumented pipeline (one
-``tracer is None`` branch per event site) at or above it, so tracing
-hooks cannot silently erode the zero-tracing path.
+``tracer is None`` branch per event site) at or above the same
+floor, so tracing hooks cannot silently erode the zero-tracing path.
+
+Measured rates are folded into ``BENCH_simulator.json`` (repo root)
+by the ``sim_bench_record`` fixture, next to the checked-in
+before/after record of the optimization pass.
 """
 
 from repro.core.machines import baseline_8way, clustered_dependence_8way
@@ -22,12 +30,18 @@ from repro.workloads import build_program, get_trace
 
 TRACE_LENGTH = 8_000
 
-#: Simulated instructions/second the seed revision guaranteed on this
-#: config; the observability layer must stay above it with tracing off.
+#: Simulated instructions/second floor on the baseline 8-way machine
+#: (gcc).  The seed revision sustained ~66k and asserted 10k; the
+#: optimized hot path sustains ~180k locally, so 30k catches any
+#: regression to seed-level throughput with ample CI headroom.
+MIN_RATE = 30_000
+
+#: The seed revision's floor, kept for the history books (and the
+#: docs-sync test that pins the optimization log to real constants).
 SEED_MIN_RATE = 10_000
 
 
-def test_throughput_baseline_machine(benchmark, paper_report):
+def test_throughput_baseline_machine(benchmark, paper_report, sim_bench_record):
     trace = get_trace("gcc", TRACE_LENGTH)
     stats = benchmark(simulate, baseline_8way(), trace)
     rate = TRACE_LENGTH / benchmark.stats.stats.mean
@@ -36,13 +50,25 @@ def test_throughput_baseline_machine(benchmark, paper_report):
         f"  {rate:,.0f} simulated instructions/second "
         f"(IPC {stats.ipc:.2f} on gcc)",
     )
-    assert rate > SEED_MIN_RATE  # guard against pathological slowdowns
+    sim_bench_record("baseline_8way/gcc", rate)
+    assert rate > MIN_RATE  # a regression to the seed hot path fails here
 
 
-def test_throughput_clustered_fifo_machine(benchmark):
+def test_throughput_clustered_fifo_machine(benchmark, sim_bench_record):
     trace = get_trace("gcc", TRACE_LENGTH)
     benchmark(simulate, clustered_dependence_8way(), trace)
     rate = TRACE_LENGTH / benchmark.stats.stats.mean
+    sim_bench_record("clustered_dependence_8way/gcc", rate)
+    assert rate > MIN_RATE
+
+
+def test_throughput_reference_model(benchmark, sim_bench_record):
+    """The frozen reference stays runnable (it is the equivalence
+    oracle) and the optimized path stays meaningfully faster."""
+    trace = get_trace("gcc", TRACE_LENGTH)
+    benchmark(simulate, baseline_8way(), trace, fast=False)
+    rate = TRACE_LENGTH / benchmark.stats.stats.mean
+    sim_bench_record("baseline_8way/gcc (reference)", rate)
     assert rate > SEED_MIN_RATE
 
 
@@ -75,8 +101,9 @@ def test_stage_profile(benchmark, paper_report, metrics_record):
 
 
 def test_tracing_disabled_overhead_guard(paper_report):
-    """Tracing off must not cost throughput: stay at/above the seed
-    floor, and full tracing must stay within a sane multiple."""
+    """Tracing off must not cost throughput: stay at/above the
+    optimized floor, and full tracing must stay within a sane
+    multiple."""
     trace = get_trace("gcc", TRACE_LENGTH)
     config = baseline_8way()
     simulate(config, trace)  # warm caches before timing
@@ -92,8 +119,8 @@ def test_tracing_disabled_overhead_guard(paper_report):
         f"({traced_seconds / plain_seconds:.2f}x, "
         f"{tracer.emitted:,} events)",
     )
-    # The disabled path must clear the seed revision's floor outright
-    # (the hook is one branch per event site).
-    assert plain_rate > SEED_MIN_RATE
+    # The disabled path must clear the optimized floor outright (the
+    # hook is one branch per event site).
+    assert plain_rate > MIN_RATE
     # Full event emission is allowed to cost, but not explode.
     assert traced_seconds < 10 * plain_seconds

@@ -37,6 +37,14 @@ _REPORTS: list[tuple[str, str]] = []
 #: SimStats payloads registered for the machine-readable export.
 _METRICS: list[dict] = []
 
+#: label -> measured simulator rate (inst/s) for BENCH_simulator.json.
+_SIM_RATES: dict[str, float] = {}
+
+#: The checked-in simulator throughput record (repo root).
+BENCH_SIMULATOR_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_simulator.json"
+)
+
 
 def bench_instructions() -> int:
     """Dynamic instructions per simulated benchmark run.
@@ -69,6 +77,41 @@ def metrics_record():
     return add
 
 
+@pytest.fixture
+def sim_bench_record():
+    """Register a measured simulator throughput (label -> inst/s).
+
+    At the end of the run every registered rate is folded into
+    ``BENCH_simulator.json`` next to the checked-in ``recorded``
+    numbers, so a local or CI benchmark run always leaves a
+    machine-readable before/after artifact.
+    """
+
+    def add(label: str, rate: float) -> None:
+        _SIM_RATES[label] = round(float(rate))
+
+    return add
+
+
+def _write_sim_bench(terminalreporter) -> None:
+    if not _SIM_RATES:
+        return
+    payload = {"kind": "repro-simulator-bench"}
+    try:
+        with open(BENCH_SIMULATOR_PATH, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        pass  # keep the fresh payload; the recorded block is optional
+    payload["measured"] = dict(sorted(_SIM_RATES.items()))
+    with open(BENCH_SIMULATOR_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    terminalreporter.write_line(
+        f"wrote {len(_SIM_RATES)} simulator rates to {BENCH_SIMULATOR_PATH}"
+    )
+    _SIM_RATES.clear()
+
+
 @pytest.fixture(scope="session")
 def fig13_result():
     return run_fig13(max_instructions=bench_instructions())
@@ -85,6 +128,7 @@ def fig17_result():
 
 
 def pytest_terminal_summary(terminalreporter):
+    _write_sim_bench(terminalreporter)
     metrics_path = os.environ.get("REPRO_BENCH_METRICS")
     if metrics_path and _METRICS:
         with open(metrics_path, "w", encoding="utf-8") as handle:

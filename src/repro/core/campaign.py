@@ -44,6 +44,7 @@ from repro.core.experiments import DEFAULT_INSTRUCTIONS, ExperimentResult
 from repro.obs.profiling import CampaignProfile
 from repro.uarch.config import MachineConfig
 from repro.uarch.pipeline import simulate
+from repro.uarch.preanalysis import PREANALYSIS_VERSION
 from repro.uarch.stats import SimStats
 from repro.workloads import WORKLOAD_NAMES, get_trace
 
@@ -109,14 +110,17 @@ def cache_key(
 
     The key covers everything that determines the simulation output:
     the full machine configuration, the workload, the instruction
-    budget, and the stats serialisation version (so a format bump
-    invalidates old entries instead of misreading them).
+    budget, the stats serialisation version (so a format bump
+    invalidates old entries instead of misreading them), and the
+    trace pre-analysis version (so a change to the derived arrays the
+    optimized simulator consumes invalidates old entries too).
     """
     payload = {
         "config": config_fingerprint(config),
         "workload": workload,
         "max_instructions": max_instructions,
         "stats_format": stats_format,
+        "preanalysis": PREANALYSIS_VERSION,
     }
     digest = hashlib.sha256(
         json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")

@@ -19,6 +19,8 @@ from __future__ import annotations
 class IssueFifo:
     """One in-order issue buffer."""
 
+    __slots__ = ("depth", "_entries")
+
     def __init__(self, depth: int):
         if depth < 1:
             raise ValueError(f"depth must be >= 1, got {depth}")
@@ -82,6 +84,8 @@ class IssueFifo:
 
 class FifoSet:
     """The FIFOs of one cluster, with free-pool bookkeeping."""
+
+    __slots__ = ("fifos",)
 
     def __init__(self, count: int, depth: int):
         if count < 1:

@@ -26,6 +26,25 @@ dynamic stream is replayed through the pipeline stages of Figure 1
 The per-operand wakeup is event driven: each producer schedules
 arrival events for its consumers, per cluster, so a cycle's work is
 proportional to actual activity.
+
+This module is the **optimized** implementation; its statistics are
+pinned cycle-for-cycle to :mod:`repro.uarch.pipeline_reference` (the
+frozen seed model) by the equivalence suite.  The speed comes from
+three mechanisms, documented in ``docs/performance.md``:
+
+* per-trace pre-analysis (:mod:`repro.uarch.preanalysis`) turns
+  repeated attribute/enum lookups into flat array indexing;
+* idle cycles -- where no stage can possibly act -- are *skipped* by
+  jumping the clock to the next scheduled event while replicating the
+  per-cycle statistics the reference would have accumulated;
+* the stage bodies hoist attribute lookups into locals and avoid
+  per-cycle allocations (reused steering views, placement singletons,
+  a single-destination rename fast path).
+
+Cycle skipping is disabled automatically in the configurations where
+a spinning cycle has side effects (random steering consumes an RNG
+draw per attempt; execution-driven steering resolves inter-cluster
+waits by pure time advance).
 """
 
 from __future__ import annotations
@@ -34,12 +53,13 @@ import heapq
 from collections import deque
 
 from repro.isa.emulator import Trace
-from repro.isa.instructions import FP_REG_BASE, OpClass
+from repro.isa.instructions import FP_REG_BASE
 from repro.obs.events import EventKind, EventTracer
 from repro.uarch.cache import SetAssociativeCache
 from repro.uarch.config import MachineConfig, SelectionPolicy, SteeringPolicy
-from repro.uarch.depend import NO_PRODUCER, dependence_info
+from repro.uarch.depend import dependence_info
 from repro.uarch.fifos import FifoSet
+from repro.uarch.preanalysis import DEST_INT, preanalyze
 from repro.uarch.predictor import GshareBranchPredictor
 from repro.uarch.rename import RegisterRenamer
 from repro.uarch.stats import BACKPRESSURE_CAUSES, SimStats, StallCause
@@ -53,6 +73,9 @@ from repro.uarch.steering import (
     SteeringView,
     WindowDispatchSteering,
 )
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 #: Dispatch policies that pick a cluster without looking at operands.
 _BLIND_POLICIES = (
@@ -95,6 +118,9 @@ class PipelineSimulator:
             attached, every lifecycle step of every instruction is
             emitted as a structured event.  ``None`` (the default)
             keeps the hot path at one branch per event site.
+        cycle_skip: Jump the clock over provably idle cycles (the
+            default).  ``False`` steps every cycle like the reference
+            model; statistics are identical either way.
     """
 
     def __init__(
@@ -102,6 +128,7 @@ class PipelineSimulator:
         config: MachineConfig,
         trace: Trace,
         tracer: EventTracer | None = None,
+        cycle_skip: bool = True,
     ):
         self.config = config
         self.trace = trace
@@ -110,6 +137,7 @@ class PipelineSimulator:
         info = dependence_info(trace)
         self.producers = info.producers
         self.consumers = info.consumers
+        self.pre = preanalyze(trace)
         self.n_clusters = len(config.clusters)
         self.extra_bypass = config.extra_bypass_latency
         # Figure 10: a wakeup+select loop pipelined over N stages
@@ -119,6 +147,19 @@ class PipelineSimulator:
         self.cache = SetAssociativeCache(config.cache)
         self.stats = SimStats(machine=config.name, workload=trace.name)
         self._steering = self._build_steering()
+        # Machine scalars the cycle loop reads constantly, lifted out
+        # of the frozen-dataclass property chain.
+        self._policy = config.steering
+        self._exec_driven = config.steering is SteeringPolicy.EXEC_DRIVEN
+        self._cluster_caps = [c.capacity for c in config.clusters]
+        self._cluster_fifo_flags = [c.uses_fifos for c in config.clusters]
+        self._fu_counts = [c.fu_count for c in config.clusters]
+        self._cache_ports = config.cache.ports
+        self._total_capacity = config.total_capacity
+        self.cycle_skip = cycle_skip
+        # A spinning cycle under random steering consumes RNG draws,
+        # so skipping is legal only when no placement was attempted.
+        self._skippable_steering = config.steering is not SteeringPolicy.RANDOM
         self._reset_state()
 
     # ------------------------------------------------------------------
@@ -214,6 +255,17 @@ class PipelineSimulator:
         # Per-cycle stall attribution (see _attribute_cycle).
         self._dispatch_block: StallCause | None = None
         self._issue_block: StallCause | None = None
+        # Cycle-skipping state.
+        self._idle = False
+        self._place_called = False
+        self._last_cause: StallCause | None = None
+        self.skipped_cycles = 0
+        # Allocation-free steering plumbing: placements for the
+        # policies that always answer "cluster 0", and one reusable
+        # view/room pair for the policies that take a full view.
+        self._placement0 = Placement(cluster=0)
+        self._view = SteeringView(self.fifo_sets)
+        self._room = [0] * self.n_clusters
         if self._steering is not None:
             self._steering.reset()
 
@@ -241,31 +293,34 @@ class PipelineSimulator:
     def _schedule_arrival(self, consumer: int, cluster: int, at_cycle) -> None:
         self.arrivals.setdefault(at_cycle, []).append((consumer, cluster))
 
-    def _on_operands_ready(self, seq: int, cluster: int) -> None:
-        """All operands of ``seq`` are now available in ``cluster``."""
-        policy = self.config.steering
-        if policy is SteeringPolicy.EXEC_DRIVEN:
-            if not self.in_ready[seq]:
-                self.in_ready[seq] = 1
-                heapq.heappush(self.central_ready, seq)
-        elif not self.config.clusters[self.home_cluster[seq]].uses_fifos:
-            if cluster == self.home_cluster[seq] and not self.in_ready[seq]:
-                self.in_ready[seq] = 1
-                heapq.heappush(self.ready_heaps[cluster], seq)
-        # FIFO clusters poll their heads each cycle instead.
-
     def _process_arrivals(self) -> None:
         events = self.arrivals.pop(self.cycle, None)
         if not events:
             return
+        cycle = self.cycle
         tracer = self.tracer
+        pending = self.pending
+        in_ready = self.in_ready
+        exec_driven = self._exec_driven
+        home_cluster = self.home_cluster
+        fifo_flags = self._cluster_fifo_flags
+        central_ready = self.central_ready
+        ready_heaps = self.ready_heaps
         for seq, cluster in events:
-            counts = self.pending[seq]
+            counts = pending[seq]
             counts[cluster] -= 1
             if counts[cluster] == 0:
                 if tracer is not None:
-                    tracer.emit(self.cycle, EventKind.WAKEUP, seq, cluster)
-                self._on_operands_ready(seq, cluster)
+                    tracer.emit(cycle, EventKind.WAKEUP, seq, cluster)
+                if exec_driven:
+                    if not in_ready[seq]:
+                        in_ready[seq] = 1
+                        _heappush(central_ready, seq)
+                elif not fifo_flags[home_cluster[seq]]:
+                    # FIFO clusters poll their heads each cycle instead.
+                    if cluster == home_cluster[seq] and not in_ready[seq]:
+                        in_ready[seq] = 1
+                        _heappush(ready_heaps[cluster], seq)
 
     # ------------------------------------------------------------------
     # commit
@@ -274,37 +329,55 @@ class PipelineSimulator:
     def _commit(self) -> None:
         budget = self.config.retire_width
         n = len(self.insts)
+        seq = self.commit_ptr
+        if seq >= n or not self.issued[seq]:
+            return
+        cycle = self.cycle
+        horizon = cycle - 1
         tracer = self.tracer
-        while budget and self.commit_ptr < n:
-            seq = self.commit_ptr
-            if not self.issued[seq] or self.complete_cycle[seq] > self.cycle - 1:
+        stats = self.stats
+        issued = self.issued
+        complete_cycle = self.complete_cycle
+        pre = self.pre
+        is_store = pre.is_store
+        mem_word = pre.mem_word
+        dest_kind = pre.dest_kind
+        prev_dest_phys = self.prev_dest_phys
+        used_x_bypass = self.used_x_bypass
+        commit_cycle = self.commit_cycle
+        inflight_store_words = self.inflight_store_words
+        committed = 0
+        while budget and seq < n:
+            if not issued[seq] or complete_cycle[seq] > horizon:
                 break
-            inst = self.insts[seq]
-            if inst.is_store and inst.mem_addr is not None:
-                word = inst.mem_addr >> 2
-                count = self.inflight_store_words.get(word, 0) - 1
-                if count > 0:
-                    self.inflight_store_words[word] = count
-                else:
-                    self.inflight_store_words.pop(word, None)
-            if inst.dest is not None:
-                renamer = (
-                    self.int_renamer if inst.dest < FP_REG_BASE else self.fp_renamer
-                )
-                previous = self.prev_dest_phys[seq]
+            if is_store[seq]:
+                word = mem_word[seq]
+                if word >= 0:
+                    count = inflight_store_words.get(word, 0) - 1
+                    if count > 0:
+                        inflight_store_words[word] = count
+                    else:
+                        inflight_store_words.pop(word, None)
+            kind = dest_kind[seq]
+            if kind:
+                previous = prev_dest_phys[seq]
                 if previous is not None:
+                    renamer = (
+                        self.int_renamer if kind == DEST_INT else self.fp_renamer
+                    )
                     renamer.release(previous)
-            if self.used_x_bypass[seq]:
-                self.stats.inter_cluster_bypasses += 1
+            if used_x_bypass[seq]:
+                stats.inter_cluster_bypasses += 1
             if tracer is not None:
-                tracer.emit(
-                    self.cycle, EventKind.COMMIT, seq, self.cluster_of[seq]
-                )
-            self.commit_cycle[seq] = self.cycle
-            self.in_flight -= 1
-            self.commit_ptr += 1
-            self.stats.committed += 1
+                tracer.emit(cycle, EventKind.COMMIT, seq, self.cluster_of[seq])
+            commit_cycle[seq] = cycle
+            seq += 1
+            committed += 1
             budget -= 1
+        if committed:
+            self.commit_ptr = seq
+            self.in_flight -= committed
+            stats.committed += committed
 
     # ------------------------------------------------------------------
     # issue (wakeup already done; this is select + execute)
@@ -312,40 +385,49 @@ class PipelineSimulator:
 
     def _oldest_unissued_store(self):
         heap = self.unissued_stores
-        while heap and self.issued[heap[0]]:
-            heapq.heappop(heap)
+        issued = self.issued
+        while heap and issued[heap[0]]:
+            _heappop(heap)
         return heap[0] if heap else None
 
     def _gather_candidates(self) -> list[tuple[int, int, int | None]]:
         """Collect issue candidates as (seq, cluster, fifo_index)."""
-        candidates: list[tuple[int, int, int | None]] = []
-        policy = self.config.steering
-        if policy is SteeringPolicy.EXEC_DRIVEN:
+        issued = self.issued
+        if self._exec_driven:
+            heap = self.central_ready
             drained = []
-            while self.central_ready:
-                seq = heapq.heappop(self.central_ready)
-                if not self.issued[seq]:
+            while heap:
+                seq = _heappop(heap)
+                if not issued[seq]:
                     drained.append(seq)
             return [(seq, -1, None) for seq in drained]
-        for cluster_index, cluster in enumerate(self.config.clusters):
-            if cluster.uses_fifos:
-                counts_needed = self.pending
-                for fifo_index, head in self.fifo_sets[cluster_index].heads():
-                    counts = counts_needed[head]
-                    if counts is not None and counts[cluster_index] == 0:
-                        candidates.append((head, cluster_index, fifo_index))
+        candidates: list[tuple[int, int, int | None]] = []
+        pending = self.pending
+        fifo_flags = self._cluster_fifo_flags
+        for cluster_index in range(self.n_clusters):
+            if fifo_flags[cluster_index]:
+                for fifo_index, fifo in enumerate(
+                    self.fifo_sets[cluster_index].fifos
+                ):
+                    entries = fifo._entries
+                    if entries:
+                        head = entries[0]
+                        counts = pending[head]
+                        if counts is not None and counts[cluster_index] == 0:
+                            candidates.append((head, cluster_index, fifo_index))
             else:
                 heap = self.ready_heaps[cluster_index]
                 drained = []
                 while heap:
-                    seq = heapq.heappop(heap)
-                    if not self.issued[seq]:
+                    seq = _heappop(heap)
+                    if not issued[seq]:
                         drained.append(seq)
                 for seq in drained:
                     candidates.append((seq, cluster_index, None))
         if self.positional:
+            slot_of = self.slot_of
             candidates.sort(
-                key=lambda item: (self.slot_of.get(item[0], item[0]), item[0])
+                key=lambda item: (slot_of.get(item[0], item[0]), item[0])
             )
         else:
             candidates.sort()
@@ -353,12 +435,16 @@ class PipelineSimulator:
 
     def _requeue(self, leftovers: list[tuple[int, int, int | None]]) -> None:
         """Return unissued window candidates to their ready heaps."""
-        policy = self.config.steering
+        if self._exec_driven:
+            central_ready = self.central_ready
+            for seq, _cluster, _fifo in leftovers:
+                _heappush(central_ready, seq)
+            return
+        fifo_flags = self._cluster_fifo_flags
+        ready_heaps = self.ready_heaps
         for seq, cluster, _fifo in leftovers:
-            if policy is SteeringPolicy.EXEC_DRIVEN:
-                heapq.heappush(self.central_ready, seq)
-            elif not self.config.clusters[cluster].uses_fifos:
-                heapq.heappush(self.ready_heaps[cluster], seq)
+            if not fifo_flags[cluster]:
+                _heappush(ready_heaps[cluster], seq)
 
     def _pick_exec_cluster(
         self, seq: int, fu_budget: list[int]
@@ -376,9 +462,7 @@ class PipelineSimulator:
         avail = [0, 0]
         for k in range(self.n_clusters):
             worst = 0
-            for producer in self.producers[seq]:
-                if producer == NO_PRODUCER:
-                    continue
+            for producer in self.pre.real_producers[seq]:
                 cycle = self._avail_cycle(producer, k)
                 if cycle > worst:
                     worst = cycle
@@ -391,16 +475,15 @@ class PipelineSimulator:
             return None, StallCause.INTER_CLUSTER_WAIT
         return None, StallCause.FU_CONTENTION
 
-    def _load_latency(self, inst) -> int:
-        word = inst.mem_addr >> 2
-        if self.inflight_store_words.get(word):
+    def _load_latency(self, seq: int) -> int:
+        if self.inflight_store_words.get(self.pre.mem_word[seq]):
             self.stats.store_forwards += 1
-        return self.cache.load_latency(inst.mem_addr)
+        return self.cache.load_latency(self.pre.mem_addr[seq])
 
     def _issue_one(self, seq: int, cluster: int, fifo_index: int | None) -> None:
-        inst = self.insts[seq]
         now = self.cycle
         tracer = self.tracer
+        pre = self.pre
         if tracer is not None:
             origin = (
                 f"fifo={fifo_index}" if fifo_index is not None
@@ -408,25 +491,26 @@ class PipelineSimulator:
                 else "window"
             )
             tracer.emit(now, EventKind.SELECT, seq, cluster, detail=origin)
-        if inst.op_class is OpClass.LOAD:
-            latency = self._load_latency(inst)
+        if pre.is_load[seq]:
+            latency = self._load_latency(seq)
         else:
             latency = self.config.fu_latency
-            if inst.is_store:
-                self.cache.access(inst.mem_addr)  # write-allocate fill
-                word = inst.mem_addr >> 2
+            if pre.is_store[seq]:
+                self.cache.access(pre.mem_addr[seq])  # write-allocate fill
+                word = pre.mem_word[seq]
                 self.inflight_store_words[word] = (
                     self.inflight_store_words.get(word, 0) + 1
                 )
         self.issued[seq] = 1
         self.issue_cycle[seq] = now
-        self.complete_cycle[seq] = now + latency
+        complete = now + latency
+        self.complete_cycle[seq] = complete
         self.cluster_of[seq] = cluster
         if tracer is not None:
             tracer.emit(now, EventKind.ISSUE, seq, cluster)
             tracer.emit(
                 now, EventKind.EXECUTE, seq, cluster,
-                detail=inst.op_class.name.lower(), dur=latency,
+                detail=self.insts[seq].op_class.name.lower(), dur=latency,
             )
         # Leave the issue buffer.
         if fifo_index is not None:
@@ -445,39 +529,56 @@ class PipelineSimulator:
         if self.positional:
             slot = self.slot_of.pop(seq, None)
             if slot is not None:
-                heapq.heappush(self.free_slots[self.home_cluster[seq]], slot)
+                _heappush(self.free_slots[self.home_cluster[seq]], slot)
         # Inter-cluster bypass accounting (Figure 17 bottom): count the
         # instruction if any operand came from the other cluster and
         # had not yet been written to this cluster's register file.
-        for producer in self.producers[seq]:
-            if producer == NO_PRODUCER or self.cluster_of[producer] == cluster:
-                continue
-            arrival = self._avail_cycle(producer, cluster)
-            if now < arrival + REGFILE_WRITE_DELAY:
-                self.used_x_bypass[seq] = 1
-                if tracer is not None:
-                    tracer.emit(
-                        now, EventKind.BYPASS, seq, cluster,
-                        detail=f"from={self.cluster_of[producer]}",
-                    )
-                break
+        if self.n_clusters > 1:
+            cluster_of = self.cluster_of
+            for producer in pre.real_producers[seq]:
+                if cluster_of[producer] == cluster:
+                    continue
+                arrival = self._avail_cycle(producer, cluster)
+                if now < arrival + REGFILE_WRITE_DELAY:
+                    self.used_x_bypass[seq] = 1
+                    if tracer is not None:
+                        tracer.emit(
+                            now, EventKind.BYPASS, seq, cluster,
+                            detail=f"from={cluster_of[producer]}",
+                        )
+                    break
         # Wake dispatched consumers.
         waiters = self.waiting_on[seq]
         if waiters:
-            for consumer in waiters:
-                for k in range(self.n_clusters):
-                    self._schedule_arrival(consumer, k, self._avail_cycle(seq, k))
+            arrivals = self.arrivals
+            base = complete + self.wakeup_bubble
+            if self.n_clusters == 1:
+                bucket = arrivals.get(base)
+                if bucket is None:
+                    bucket = arrivals[base] = []
+                for consumer in waiters:
+                    bucket.append((consumer, 0))
+            else:
+                extra = self.extra_bypass
+                avail = [
+                    base if cluster == k else base + extra
+                    for k in range(self.n_clusters)
+                ]
+                for consumer in waiters:
+                    for k, at_cycle in enumerate(avail):
+                        arrivals.setdefault(at_cycle, []).append((consumer, k))
             self.waiting_on[seq] = None
         # A resolved mispredicted branch restarts fetch.
         if self.pending_redirect == seq:
             self.pending_redirect = None
-            self.next_fetch_cycle = self.complete_cycle[seq]
+            self.next_fetch_cycle = complete
 
     def _issue(self) -> int:
-        exec_driven = self.config.steering is SteeringPolicy.EXEC_DRIVEN
-        budget = self.config.issue_width
-        fu_budget = [c.fu_count for c in self.config.clusters]
-        mem_budget = self.config.cache.ports
+        exec_driven = self._exec_driven
+        config = self.config
+        budget = config.issue_width
+        fu_budget = self._fu_counts.copy()
+        mem_budget = self._cache_ports
         oldest_store = self._oldest_unissued_store()
         leftovers: list[tuple[int, int, int | None]] = []
         issued_count = 0
@@ -485,47 +586,52 @@ class PipelineSimulator:
         # _attribute_cycle picks the dominant one.
         blocked: dict[StallCause, int] = {}
         self._issue_block = None
-        for seq, cluster, fifo_index in self._gather_candidates():
+        pre = self.pre
+        is_mem_flags = pre.is_mem
+        is_load_flags = pre.is_load
+        is_store_flags = pre.is_store
+        issue_one = self._issue_one
+        for candidate in self._gather_candidates():
+            seq, cluster, fifo_index = candidate
             if budget == 0:
-                leftovers.append((seq, cluster, fifo_index))
+                leftovers.append(candidate)
                 continue
-            inst = self.insts[seq]
-            is_mem = inst.op_class in (OpClass.LOAD, OpClass.STORE)
+            is_mem = is_mem_flags[seq]
             if is_mem and mem_budget == 0:
                 blocked[StallCause.CACHE_PORT] = (
                     blocked.get(StallCause.CACHE_PORT, 0) + 1
                 )
-                leftovers.append((seq, cluster, fifo_index))
+                leftovers.append(candidate)
                 continue
             if (
-                inst.op_class is OpClass.LOAD
+                is_load_flags[seq]
                 and oldest_store is not None
                 and oldest_store < seq
             ):
                 blocked[StallCause.LOAD_STORE_ORDER] = (
                     blocked.get(StallCause.LOAD_STORE_ORDER, 0) + 1
                 )
-                leftovers.append((seq, cluster, fifo_index))
+                leftovers.append(candidate)
                 continue
             if exec_driven:
                 chosen, defer_cause = self._pick_exec_cluster(seq, fu_budget)
                 if chosen is None:
                     blocked[defer_cause] = blocked.get(defer_cause, 0) + 1
-                    leftovers.append((seq, cluster, fifo_index))
+                    leftovers.append(candidate)
                     continue
                 cluster = chosen
             elif fu_budget[cluster] == 0:
                 blocked[StallCause.FU_CONTENTION] = (
                     blocked.get(StallCause.FU_CONTENTION, 0) + 1
                 )
-                leftovers.append((seq, cluster, fifo_index))
+                leftovers.append(candidate)
                 continue
-            self._issue_one(seq, cluster, fifo_index)
+            issue_one(seq, cluster, fifo_index)
             budget -= 1
             fu_budget[cluster] -= 1
             if is_mem:
                 mem_budget -= 1
-            if inst.is_store:
+            if is_store_flags[seq]:
                 oldest_store = self._oldest_unissued_store()
             issued_count += 1
         if blocked:
@@ -534,8 +640,10 @@ class PipelineSimulator:
             self._issue_block = max(
                 blocked, key=lambda c: (blocked[c], _ISSUE_BLOCK_RANK[c])
             )
-        self._requeue(leftovers)
-        self.stats.note_issue(issued_count)
+        if leftovers:
+            self._requeue(leftovers)
+        histogram = self.stats.issue_histogram
+        histogram[issued_count] = histogram.get(issued_count, 0) + 1
         return issued_count
 
     # ------------------------------------------------------------------
@@ -544,10 +652,9 @@ class PipelineSimulator:
 
     def _outstanding_operands(self, seq: int) -> list[OutstandingOperand]:
         outstanding = []
-        for producer in self.producers[seq]:
-            if producer == NO_PRODUCER:
-                continue
-            placement = self.fifo_of.get(producer)
+        fifo_of = self.fifo_of
+        for producer in self.pre.real_producers[seq]:
+            placement = fifo_of.get(producer)
             if placement is None:
                 continue  # already issued, or never buffered
             cluster, fifo_index = placement
@@ -564,32 +671,34 @@ class PipelineSimulator:
 
     def _place(self, seq: int) -> tuple[Placement | None, StallCause]:
         """Choose where ``seq`` dispatches to; (None, cause) = stall."""
-        policy = self.config.steering
+        policy = self._policy
+        window_count = self.window_count
         if policy is SteeringPolicy.NONE:
-            if self.window_count[0] >= self.config.clusters[0].capacity:
+            if window_count[0] >= self._cluster_caps[0]:
                 return None, StallCause.WINDOW_FULL
-            return Placement(cluster=0), StallCause.WINDOW_FULL
+            return self._placement0, StallCause.WINDOW_FULL
         if policy is SteeringPolicy.EXEC_DRIVEN:
-            if sum(self.window_count) >= self.config.total_capacity:
+            if sum(window_count) >= self._total_capacity:
                 return None, StallCause.WINDOW_FULL
-            return Placement(cluster=0), StallCause.WINDOW_FULL
+            return self._placement0, StallCause.WINDOW_FULL
+        view = self._view
         if policy in _BLIND_POLICIES:
-            room = [
-                self.config.clusters[k].capacity - self.window_count[k]
-                for k in range(self.n_clusters)
-            ]
-            view = SteeringView(self.fifo_sets, window_room=room)
+            room = self._room
+            caps = self._cluster_caps
+            for k in range(self.n_clusters):
+                room[k] = caps[k] - window_count[k]
+            view.window_room = room
             placement = self._steering.place(view, [])
             return placement, StallCause.WINDOW_FULL
         # FIFO_DISPATCH / WINDOW_DISPATCH.
         if self.conceptual_fifos:
-            room = [
-                self.config.clusters[k].capacity - self.window_count[k]
-                for k in range(self.n_clusters)
-            ]
-            view = SteeringView(self.fifo_sets, window_room=room)
+            room = self._room
+            caps = self._cluster_caps
+            for k in range(self.n_clusters):
+                room[k] = caps[k] - window_count[k]
+            view.window_room = room
         else:
-            view = SteeringView(self.fifo_sets)
+            view.window_room = None
         placement = self._steering.place(view, self._outstanding_operands(seq))
         return placement, StallCause.NO_FIFO
 
@@ -597,7 +706,7 @@ class PipelineSimulator:
         cluster = placement.cluster
         self.home_cluster[seq] = cluster
         if self.positional and self.free_slots[cluster]:
-            self.slot_of[seq] = heapq.heappop(self.free_slots[cluster])
+            self.slot_of[seq] = _heappop(self.free_slots[cluster])
         if placement.fifo is not None:
             self.fifo_sets[cluster].fifos[placement.fifo].push(seq)
             self.fifo_of[seq] = (cluster, placement.fifo)
@@ -606,110 +715,198 @@ class PipelineSimulator:
         else:
             self.window_count[cluster] += 1
 
-    def _rename_dest(self, seq: int, inst) -> None:
-        """Allocate a physical destination through the real map table;
-        the previous mapping is remembered and freed at commit."""
-        if inst.dest < FP_REG_BASE:
-            renamer = self.int_renamer
-            logical_dest = inst.dest
-        else:
-            renamer = self.fp_renamer
-            logical_dest = inst.dest - FP_REG_BASE
-        logical_srcs = tuple(
-            s if inst.dest < FP_REG_BASE else s - FP_REG_BASE
-            for s in inst.srcs
-            if (s < FP_REG_BASE) == (inst.dest < FP_REG_BASE)
-        )
-        [renamed] = renamer.rename_group([(logical_srcs, logical_dest)])
-        self.prev_dest_phys[seq] = renamed.prev_dest
-        if self.tracer is not None:
-            self.tracer.emit(
-                self.cycle, EventKind.RENAME, seq,
-                detail=f"r{inst.dest}->p{renamed.phys_dest}",
-            )
-
     def _init_pending(self, seq: int) -> None:
-        counts = [0] * self.n_clusters
         now = self.cycle
-        for producer in self.producers[seq]:
-            if producer == NO_PRODUCER:
-                continue
-            if not self.issued[producer]:
-                waiters = self.waiting_on[producer]
-                if waiters is None:
-                    waiters = []
-                    self.waiting_on[producer] = waiters
-                waiters.append(seq)
-                for k in range(self.n_clusters):
-                    counts[k] += 1
-            else:
-                for k in range(self.n_clusters):
-                    arrival = self._avail_cycle(producer, k)
+        n_clusters = self.n_clusters
+        issued = self.issued
+        waiting_on = self.waiting_on
+        producers = self.pre.real_producers[seq]
+        if n_clusters == 1:
+            count = 0
+            complete_cycle = self.complete_cycle
+            bubble = self.wakeup_bubble
+            arrivals = self.arrivals
+            for producer in producers:
+                if not issued[producer]:
+                    waiters = waiting_on[producer]
+                    if waiters is None:
+                        waiting_on[producer] = [seq]
+                    else:
+                        waiters.append(seq)
+                    count += 1
+                else:
+                    arrival = complete_cycle[producer] + bubble
                     if arrival > now:
+                        count += 1
+                        arrivals.setdefault(arrival, []).append((seq, 0))
+            counts = [count]
+        else:
+            counts = [0] * n_clusters
+            for producer in producers:
+                if not issued[producer]:
+                    waiters = waiting_on[producer]
+                    if waiters is None:
+                        waiting_on[producer] = [seq]
+                    else:
+                        waiters.append(seq)
+                    for k in range(n_clusters):
                         counts[k] += 1
-                        self._schedule_arrival(seq, k, arrival)
+                else:
+                    for k in range(n_clusters):
+                        arrival = self._avail_cycle(producer, k)
+                        if arrival > now:
+                            counts[k] += 1
+                            self._schedule_arrival(seq, k, arrival)
         self.pending[seq] = counts
-        policy = self.config.steering
-        if policy is SteeringPolicy.EXEC_DRIVEN:
+        if self._exec_driven:
             if min(counts) == 0:
                 self.in_ready[seq] = 1
-                heapq.heappush(self.central_ready, seq)
+                _heappush(self.central_ready, seq)
         else:
             home = self.home_cluster[seq]
-            if (
-                not self.config.clusters[home].uses_fifos
-                and counts[home] == 0
-            ):
+            if not self._cluster_fifo_flags[home] and counts[home] == 0:
                 self.in_ready[seq] = 1
-                heapq.heappush(self.ready_heaps[home], seq)
+                _heappush(self.ready_heaps[home], seq)
 
     def _dispatch(self) -> int:
         budget = self.config.dispatch_width
         tracer = self.tracer
         dispatched_count = 0
         self._dispatch_block = None
-        while budget and self.fetch_buffer:
-            seq, ready_cycle = self.fetch_buffer[0]
-            if ready_cycle > self.cycle:
+        fetch_buffer = self.fetch_buffer
+        if not fetch_buffer:
+            return 0
+        cycle = self.cycle
+        pre = self.pre
+        dest_kind = pre.dest_kind
+        logical_dest = pre.logical_dest
+        is_store_flags = pre.is_store
+        int_renamer = self.int_renamer
+        fp_renamer = self.fp_renamer
+        int_free = int_renamer._free
+        fp_free = fp_renamer._free
+        max_in_flight = self.config.max_in_flight
+        place = self._place
+        apply_placement = self._apply_placement
+        init_pending = self._init_pending
+        dispatched = self.dispatched
+        dispatch_cycle = self.dispatch_cycle
+        prev_dest_phys = self.prev_dest_phys
+        # The per-instruction helpers are inlined below for the common
+        # shapes -- unless a wrapper (profiler, test shadow) sits on
+        # the instance, in which case the method path is kept so the
+        # wrapper observes every call.
+        shadowed = self.__dict__
+        simple_place = (
+            self._policy is SteeringPolicy.NONE
+            and not self.positional
+            and "_place" not in shadowed
+            and "_apply_placement" not in shadowed
+        )
+        simple_pending = (
+            self.n_clusters == 1
+            and not self._exec_driven
+            and "_init_pending" not in shadowed
+        )
+        if simple_place:
+            window_count = self.window_count
+            cap0 = self._cluster_caps[0]
+            placement0 = self._placement0
+            home_cluster = self.home_cluster
+        if simple_pending:
+            real_producers = pre.real_producers
+            issued = self.issued
+            waiting_on = self.waiting_on
+            complete_cycle = self.complete_cycle
+            bubble = self.wakeup_bubble
+            arrivals = self.arrivals
+            pending = self.pending
+            in_ready = self.in_ready
+            home_windowed = not self._cluster_fifo_flags[0]
+            ready_heap0 = self.ready_heaps[0]
+        while budget and fetch_buffer:
+            seq, ready_cycle = fetch_buffer[0]
+            if ready_cycle > cycle:
                 break
-            inst = self.insts[seq]
-            if self.in_flight >= self.config.max_in_flight:
+            if self.in_flight >= max_in_flight:
                 self._note_dispatch_block(StallCause.IN_FLIGHT)
                 break
-            if inst.dest is not None:
-                if inst.dest < FP_REG_BASE:
-                    if self.int_renamer.free_count == 0:
+            kind = dest_kind[seq]
+            if kind:
+                if kind == DEST_INT:
+                    if not int_free:
                         self._note_dispatch_block(StallCause.INT_REGS)
                         break
-                elif self.fp_renamer.free_count == 0:
+                elif not fp_free:
                     self._note_dispatch_block(StallCause.FP_REGS)
                     break
-            placement, stall_cause = self._place(seq)
-            if placement is None:
-                self._note_dispatch_block(stall_cause)
-                break
-            self.fetch_buffer.popleft()
-            self._apply_placement(seq, placement)
+            if simple_place:
+                if window_count[0] >= cap0:
+                    self._note_dispatch_block(StallCause.WINDOW_FULL)
+                    break
+                placement = placement0
+                fetch_buffer.popleft()
+                home_cluster[seq] = 0
+                window_count[0] += 1
+            else:
+                self._place_called = True
+                placement, stall_cause = place(seq)
+                if placement is None:
+                    self._note_dispatch_block(stall_cause)
+                    break
+                fetch_buffer.popleft()
+                apply_placement(seq, placement)
             if tracer is not None:
                 rule = getattr(self._steering, "last_rule", "")
                 fifo = placement.fifo
                 tracer.emit(
-                    self.cycle, EventKind.STEER, seq, placement.cluster,
+                    cycle, EventKind.STEER, seq, placement.cluster,
                     detail=(f"fifo={fifo} {rule}".strip() if fifo is not None
                             else rule),
                 )
-            if inst.dest is not None:
-                self._rename_dest(seq, inst)
+            if kind:
+                # Single-destination rename fast path; the previous
+                # mapping is remembered and freed at commit.
+                renamer = int_renamer if kind == DEST_INT else fp_renamer
+                phys_dest, prev_dest = renamer.rename_dest(logical_dest[seq])
+                prev_dest_phys[seq] = prev_dest
+                if tracer is not None:
+                    tracer.emit(
+                        cycle, EventKind.RENAME, seq,
+                        detail=f"r{pre.dest[seq]}->p{phys_dest}",
+                    )
             if tracer is not None:
-                tracer.emit(
-                    self.cycle, EventKind.DISPATCH, seq, placement.cluster
-                )
-            if inst.is_store:
-                heapq.heappush(self.unissued_stores, seq)
-            self.dispatched[seq] = 1
-            self.dispatch_cycle[seq] = self.cycle
+                tracer.emit(cycle, EventKind.DISPATCH, seq, placement.cluster)
+            if is_store_flags[seq]:
+                _heappush(self.unissued_stores, seq)
+            dispatched[seq] = 1
+            dispatch_cycle[seq] = cycle
             self.in_flight += 1
-            self._init_pending(seq)
+            if simple_pending:
+                count = 0
+                for producer in real_producers[seq]:
+                    if not issued[producer]:
+                        waiters = waiting_on[producer]
+                        if waiters is None:
+                            waiting_on[producer] = [seq]
+                        else:
+                            waiters.append(seq)
+                        count += 1
+                    else:
+                        arrival = complete_cycle[producer] + bubble
+                        if arrival > cycle:
+                            count += 1
+                            bucket = arrivals.get(arrival)
+                            if bucket is None:
+                                arrivals[arrival] = [(seq, 0)]
+                            else:
+                                bucket.append((seq, 0))
+                pending[seq] = [count]
+                if home_windowed and count == 0:
+                    in_ready[seq] = 1
+                    _heappush(ready_heap0, seq)
+            else:
+                init_pending(seq)
             budget -= 1
             dispatched_count += 1
         return dispatched_count
@@ -724,40 +921,55 @@ class PipelineSimulator:
     # ------------------------------------------------------------------
 
     def _fetch(self) -> None:
-        if self.cycle < self.next_fetch_cycle or self.pending_redirect is not None:
+        cycle = self.cycle
+        if cycle < self.next_fetch_cycle or self.pending_redirect is not None:
+            return
+        n = len(self.insts)
+        fetch_ptr = self.fetch_ptr
+        if fetch_ptr >= n:
             return
         budget = self.config.fetch_width
-        ready_at = self.cycle + self.config.front_end_stages
-        n = len(self.insts)
+        ready_at = cycle + self.config.front_end_stages
         tracer = self.tracer
-        while budget and self.fetch_ptr < n:
-            if len(self.fetch_buffer) >= self.fetch_buffer_cap:
+        fetch_buffer = self.fetch_buffer
+        cap = self.fetch_buffer_cap
+        fetch_cycle = self.fetch_cycle
+        pre = self.pre
+        is_branch = pre.is_branch
+        pc = pre.pc
+        taken = pre.taken
+        predictor = self.predictor
+        fetched = 0
+        while budget and fetch_ptr < n:
+            if len(fetch_buffer) >= cap:
                 break
-            inst = self.insts[self.fetch_ptr]
-            self.fetch_buffer.append((self.fetch_ptr, ready_at))
-            self.fetch_cycle[self.fetch_ptr] = self.cycle
+            fetch_buffer.append((fetch_ptr, ready_at))
+            fetch_cycle[fetch_ptr] = cycle
             if tracer is not None:
                 tracer.emit(
-                    self.cycle, EventKind.FETCH, self.fetch_ptr,
-                    detail=inst.opcode,
+                    cycle, EventKind.FETCH, fetch_ptr,
+                    detail=self.insts[fetch_ptr].opcode,
                 )
-            self.fetch_ptr += 1
-            self.stats.fetched += 1
+            seq = fetch_ptr
+            fetch_ptr += 1
+            fetched += 1
             budget -= 1
-            if inst.is_branch:
-                prediction = self.predictor.predict_and_update(inst.pc, inst.taken)
-                if prediction != inst.taken:
+            if is_branch[seq]:
+                prediction = predictor.predict_and_update(pc[seq], taken[seq])
+                if prediction != taken[seq]:
                     # Mispredicted: fetch halts until the branch
                     # executes and redirects the front end.
                     self.stats.mispredicts += 1
                     if tracer is not None:
                         tracer.emit(
-                            self.cycle, EventKind.SQUASH, inst.seq,
-                            detail="mispredict",
+                            cycle, EventKind.SQUASH, seq, detail="mispredict"
                         )
-                    self.pending_redirect = inst.seq
+                    self.pending_redirect = seq
                     self.next_fetch_cycle = _INF
                     break
+        self.fetch_ptr = fetch_ptr
+        if fetched:
+            self.stats.fetched += fetched
 
     # ------------------------------------------------------------------
     # main loop
@@ -772,14 +984,100 @@ class PipelineSimulator:
 
     def step(self) -> None:
         """Advance one cycle."""
-        self._process_arrivals()
+        cycle = self.cycle
+        had_arrivals = cycle in self.arrivals
+        if had_arrivals:
+            self._process_arrivals()
+        commit_before = self.commit_ptr
         self._commit()
         issued = self._issue()
+        self._place_called = False
         dispatched = self._dispatch()
+        fetch_before = self.fetch_ptr
         self._fetch()
-        self.stats.occupancy_sum += self._buffered_instructions()
+        buffered = sum(self.window_count)
+        if self.fifo_sets and not self.conceptual_fifos:
+            for fifo_set in self.fifo_sets:
+                for fifo in fifo_set.fifos:
+                    buffered += len(fifo._entries)
+        self.stats.occupancy_sum += buffered
         self._attribute_cycle(dispatched, issued)
-        self.cycle += 1
+        self.cycle = cycle + 1
+        # An idle cycle mutated nothing: every stage would repeat the
+        # exact same (non-)work until an external event lands.  The
+        # two guarded exceptions are clock-resolved waits (exec-driven
+        # steering) and placement attempts that consume RNG draws.
+        self._idle = (
+            dispatched == 0
+            and issued == 0
+            and not had_arrivals
+            and commit_before == self.commit_ptr
+            and fetch_before == self.fetch_ptr
+            and (self._skippable_steering or not self._place_called)
+            and self._issue_block is not StallCause.INTER_CLUSTER_WAIT
+        )
+
+    def _fast_forward(self, max_cycles: int) -> None:
+        """Jump the clock from an idle cycle to the next event.
+
+        Called only after :meth:`step` proved the just-simulated cycle
+        idle.  Each skipped cycle's statistics are replicated exactly
+        as the per-cycle loop would have accumulated them: one zero
+        entry in the issue histogram, one stall cycle charged to the
+        same cause, one dispatch-stall count when dispatch was
+        blocked, and the (unchanged) buffer occupancy.
+
+        The next event is the earliest of: a scheduled operand
+        arrival, the commit head completing, the fetch buffer's head
+        becoming dispatchable, and fetch resuming -- capped at the
+        run's cycle bound so a genuine deadlock still trips the
+        no-forward-progress guard with identical state.
+        """
+        cycle = self.cycle
+        n = len(self.insts)
+        candidates = []
+        if self.arrivals:
+            candidates.append(min(self.arrivals))
+        ptr = self.commit_ptr
+        if ptr < n and self.issued[ptr]:
+            candidates.append(self.complete_cycle[ptr] + 1)
+        fetch_buffer = self.fetch_buffer
+        if fetch_buffer:
+            # A head with ready_cycle < cycle is stuck on a resource,
+            # not on time; one at exactly `cycle` clamps the skip to
+            # zero (the current cycle is live, not idle).
+            ready_cycle = fetch_buffer[0][1]
+            if ready_cycle >= cycle:
+                candidates.append(ready_cycle)
+        if (
+            self.pending_redirect is None
+            and self.fetch_ptr < n
+            and len(fetch_buffer) < self.fetch_buffer_cap
+        ):
+            resume = self.next_fetch_cycle
+            if resume >= cycle:
+                candidates.append(resume)
+        if not candidates:
+            return  # wedged: spin to the bound like the reference
+        target = min(candidates)
+        if target > max_cycles + 1:
+            target = max_cycles + 1
+        skipped = target - cycle
+        if skipped <= 0:
+            return
+        stats = self.stats
+        cause = self._last_cause
+        stall_cycles = stats.stall_cycles
+        stall_cycles[cause] = stall_cycles.get(cause, 0) + skipped
+        histogram = stats.issue_histogram
+        histogram[0] = histogram.get(0, 0) + skipped
+        block = self._dispatch_block
+        if block is not None:
+            dispatch_stalls = stats.dispatch_stalls
+            dispatch_stalls[block] = dispatch_stalls.get(block, 0) + skipped
+        stats.occupancy_sum += self._buffered_instructions() * skipped
+        self.cycle = target
+        self.skipped_cycles += skipped
 
     def _attribute_cycle(self, dispatched: int, issued: int) -> None:
         """Charge this cycle to exactly one cause.
@@ -810,7 +1108,12 @@ class PipelineSimulator:
             cause = StallCause.DRAIN
         else:
             cause = StallCause.FETCH_STARVED
-        self.stats.attribute_cycle(cause)
+        self._last_cause = cause
+        if cause is None:
+            self.stats.active_cycles += 1
+        else:
+            stall_cycles = self.stats.stall_cycles
+            stall_cycles[cause] = stall_cycles.get(cause, 0) + 1
 
     def run(self, max_cycles: int | None = None) -> SimStats:
         """Simulate until the whole trace commits.
@@ -830,13 +1133,17 @@ class PipelineSimulator:
         n = len(self.insts)
         if max_cycles is None:
             max_cycles = 100 * n + 1_000
+        step = self.step
+        cycle_skip = self.cycle_skip
         while self.commit_ptr < n:
             if self.cycle > max_cycles:
                 raise RuntimeError(
                     f"no forward progress after {self.cycle} cycles "
                     f"({self.commit_ptr}/{n} committed) -- simulator bug"
                 )
-            self.step()
+            step()
+            if cycle_skip and self._idle:
+                self._fast_forward(max_cycles)
         self.stats.cycles = self.cycle
         self.stats.branch_lookups = self.predictor.lookups
         self.stats.branch_hits = self.predictor.hits
@@ -850,8 +1157,22 @@ def simulate(
     trace: Trace,
     max_cycles: int | None = None,
     tracer: EventTracer | None = None,
+    fast: bool = True,
 ) -> SimStats:
-    """Run one machine over one trace and return its statistics."""
+    """Run one machine over one trace and return its statistics.
+
+    Args:
+        fast: Run the optimized simulator (the default).  ``False``
+            runs the frozen seed model
+        (:func:`repro.uarch.pipeline_reference.simulate_reference`)
+        instead -- the oracle the equivalence suite pins this module
+        against; results are identical, only slower.
+    """
+    if not fast:
+        from repro.uarch.pipeline_reference import simulate_reference
+
+        return simulate_reference(config, trace, max_cycles=max_cycles,
+                                  tracer=tracer)
     return PipelineSimulator(config, trace, tracer=tracer).run(
         max_cycles=max_cycles
     )

@@ -72,6 +72,9 @@ class RegisterRenamer:
         # Power-on state: logical register i lives in physical i.
         self._map = list(range(self.logical_registers))
         self._free = list(range(self.logical_registers, self.physical_registers))
+        # Membership shadow of _free for O(1) double-release detection
+        # (the list stays the allocation-order source of truth).
+        self._free_set = set(self._free)
 
     @property
     def free_count(self) -> int:
@@ -130,6 +133,7 @@ class RegisterRenamer:
             if logical_dest is not None:
                 self._check_logical(logical_dest)
                 phys_dest = self._free.pop()
+                self._free_set.discard(phys_dest)
                 # The register this destination will eventually free is
                 # whatever held the logical register before this
                 # instruction -- including an earlier group member.
@@ -148,6 +152,30 @@ class RegisterRenamer:
             self._map[logical] = physical
         return results
 
+    def rename_dest(self, logical_dest: int) -> tuple[int, int]:
+        """Single-destination fast path for the pipeline's hot loop.
+
+        Semantically identical to ``rename_group([((), logical_dest)])``
+        -- same free-list pop, same previous-mapping capture, same map
+        update -- but without building the per-group bookkeeping or a
+        :class:`RenamedInstruction` (the pipeline only needs the new
+        and previous physical registers).
+
+        Returns:
+            ``(phys_dest, prev_dest)``.
+
+        Raises:
+            OutOfPhysicalRegisters: if the free list is empty.
+        """
+        free = self._free
+        if not free:
+            raise OutOfPhysicalRegisters("group needs 1 registers, 0 free")
+        phys_dest = free.pop()
+        self._free_set.discard(phys_dest)
+        prev_dest = self._map[logical_dest]
+        self._map[logical_dest] = phys_dest
+        return phys_dest, prev_dest
+
     def release(self, physical: int) -> None:
         """Return a physical register to the free list (at commit).
 
@@ -157,9 +185,10 @@ class RegisterRenamer:
         """
         if not 0 <= physical < self.physical_registers:
             raise ValueError(f"physical register {physical} out of range")
-        if physical in self._free:
+        if physical in self._free_set:
             raise ValueError(f"double release of physical register {physical}")
         self._free.append(physical)
+        self._free_set.add(physical)
 
     def live_mappings(self) -> dict[int, int]:
         """Snapshot of the current logical -> physical map."""

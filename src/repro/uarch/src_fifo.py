@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from repro.isa.instructions import NUM_LOGICAL_REGS
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SrcFifoEntry:
     """One valid table entry."""
 

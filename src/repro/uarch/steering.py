@@ -28,7 +28,7 @@ from repro.uarch.fifos import FifoSet
 from repro.workloads._datagen import Lcg
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Placement:
     """Where a dispatched instruction goes."""
 
@@ -36,7 +36,7 @@ class Placement:
     fifo: int | None = None  #: FIFO index within the cluster, if any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OutstandingOperand:
     """A source operand whose producer is still buffered in a FIFO."""
 

@@ -5,6 +5,7 @@ from pathlib import Path
 import pytest
 
 from repro.isa.instructions import OPCODES
+from repro.obs.profiling import STAGE_METHODS
 from repro.workloads import WORKLOAD_NAMES
 
 DOCS = Path(__file__).resolve().parent.parent / "docs"
@@ -24,6 +25,16 @@ def design_doc():
 @pytest.fixture(scope="module")
 def readme():
     return (ROOT / "README.md").read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def performance_doc():
+    return (DOCS / "performance.md").read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def architecture_doc():
+    return (DOCS / "architecture.md").read_text(encoding="utf-8")
 
 
 class TestIsaDoc:
@@ -85,3 +96,57 @@ class TestReadme:
         for package in ("technology", "circuits", "delay", "isa", "workloads",
                         "uarch", "analysis", "report", "core"):
             assert f"{package}/" in readme
+
+    def test_performance_section(self, readme):
+        assert "## Performance" in readme
+        assert "docs/performance.md" in readme
+        assert "BENCH_simulator.json" in readme
+        assert "--jobs" in readme
+
+
+class TestPerformanceDoc:
+    def test_hot_path_map_matches_profiler(self, performance_doc):
+        # The hot-path table must name every STAGE_METHODS entry: both
+        # the display label and the actual method the profiler wraps.
+        for label, method in STAGE_METHODS:
+            assert f"`{label}`" in performance_doc, \
+                f"stage label {label!r} missing from docs/performance.md"
+            assert f"`{method}`" in performance_doc, \
+                f"stage method {method!r} missing from docs/performance.md"
+
+    def test_mentions_the_artifacts(self, performance_doc):
+        assert "BENCH_simulator.json" in performance_doc
+        assert "benchmarks/bench_simulator_throughput.py" in performance_doc
+        assert "tests/test_fast_reference_equivalence.py" in performance_doc
+        assert "profile_simulation" in performance_doc
+
+    def test_floor_constants_are_real(self, performance_doc):
+        from benchmarks.bench_simulator_throughput import (  # noqa: PLC0415
+            MIN_RATE,
+            SEED_MIN_RATE,
+        )
+        assert "MIN_RATE" in performance_doc
+        assert MIN_RATE > SEED_MIN_RATE
+
+    def test_bench_record_matches_floors(self):
+        import json
+
+        from benchmarks.bench_simulator_throughput import (  # noqa: PLC0415
+            MIN_RATE,
+            SEED_MIN_RATE,
+        )
+        payload = json.loads(
+            (ROOT / "BENCH_simulator.json").read_text(encoding="utf-8"))
+        recorded = payload["recorded"]
+        assert recorded["min_rate_floor"] == MIN_RATE
+        assert recorded["seed_min_rate_floor"] == SEED_MIN_RATE
+        baseline = recorded["baseline_8way"]
+        assert baseline["after_inst_per_s"] >= 2 * recorded["seed_min_rate_floor"]
+        assert baseline["after_inst_per_s"] >= 2 * baseline["before_inst_per_s"]
+
+    def test_cross_linked_from_architecture(self, architecture_doc):
+        assert "performance.md" in architecture_doc
+
+    def test_links_back(self, performance_doc):
+        assert "architecture.md" in performance_doc
+        assert "observability.md" in performance_doc

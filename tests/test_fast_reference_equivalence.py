@@ -1,0 +1,154 @@
+"""The optimized simulator is pinned to the frozen reference model.
+
+``repro.uarch.pipeline`` (pre-analysis arrays, inlined hot paths,
+cycle skipping) must produce **byte-identical** ``SimStats`` to
+``repro.uarch.pipeline_reference`` -- the seed implementation kept
+verbatim as the oracle.  These tests sweep every machine shape times
+every workload and compare the full serialised stats dict, not just
+IPC: any divergence in stall attribution, histograms, occupancy, or
+bypass counts fails.
+
+The cycle-skipping machinery gets its own checks: skipping must not
+change the event-tracer timeline (idle cycles emit no events, so the
+streams are comparable element by element) and must replicate
+per-cause stall totals exactly.
+"""
+
+import pytest
+
+from repro.core.machines import (
+    baseline_8way,
+    clustered_dependence_8way,
+    clustered_exec_steer_8way,
+    clustered_least_loaded_8way,
+    clustered_modulo_8way,
+    clustered_random_8way,
+    clustered_windows_8way,
+    dependence_based_8way,
+)
+from repro.obs import EventTracer
+from repro.uarch.pipeline import PipelineSimulator, simulate
+from repro.uarch.pipeline_reference import (
+    ReferencePipelineSimulator,
+    simulate_reference,
+)
+from repro.workloads import get_trace
+
+#: Reduced budget: 8 machines x 7 workloads stay fast while covering
+#: every steering/selection/cluster shape in the repo.
+LENGTH = 1_200
+
+MACHINES = {
+    "baseline": baseline_8way,
+    "dependence": dependence_based_8way,
+    "clustered": clustered_dependence_8way,
+    "clustered_windows": clustered_windows_8way,
+    "exec_steer": clustered_exec_steer_8way,
+    "random": clustered_random_8way,
+    "modulo": clustered_modulo_8way,
+    "least_loaded": clustered_least_loaded_8way,
+}
+
+WORKLOADS = ("compress", "gcc", "go", "li", "m88ksim", "perl", "vortex")
+
+
+@pytest.mark.parametrize("machine", sorted(MACHINES))
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_stats_byte_identical(machine, workload):
+    """Full SimStats dict equality, fast vs reference, per cell."""
+    trace = get_trace(workload, LENGTH)
+    fast = simulate(MACHINES[machine](), trace).to_dict()
+    reference = simulate_reference(MACHINES[machine](), trace).to_dict()
+    assert fast == reference, (
+        f"optimized simulator diverged from reference on "
+        f"{machine}/{workload}: "
+        + str({k: (fast[k], reference[k])
+               for k in reference if fast[k] != reference[k]})
+    )
+
+
+def test_simulate_fast_false_escape_hatch():
+    """``simulate(..., fast=False)`` routes to the reference model."""
+    trace = get_trace("gcc", LENGTH)
+    via_flag = simulate(baseline_8way(), trace, fast=False)
+    direct = simulate_reference(baseline_8way(), trace)
+    assert via_flag.to_dict() == direct.to_dict()
+
+
+def test_cycle_skip_off_matches_on():
+    """Skipping is a pure fast-forward: on/off runs are identical."""
+    trace = get_trace("li", LENGTH)
+    config = baseline_8way()
+    skipping = PipelineSimulator(config, trace, cycle_skip=True)
+    stepping = PipelineSimulator(baseline_8way(), trace, cycle_skip=False)
+    assert skipping.run().to_dict() == stepping.run().to_dict()
+    assert skipping.skipped_cycles > 0, (
+        "expected the skipper to engage on this workload; if machine "
+        "defaults changed, pick a cell with idle stretches"
+    )
+    assert stepping.skipped_cycles == 0
+
+
+def test_cycle_skip_engages_on_long_stalls():
+    """A tiny window forces backpressure; skipped cycles still count
+    in the total and the stall partition stays valid."""
+    trace = get_trace("compress", LENGTH)
+    simulator = PipelineSimulator(baseline_8way(window_size=4), trace)
+    stats = simulator.run()
+    stats.validate()
+    reference = ReferencePipelineSimulator(
+        baseline_8way(window_size=4), trace
+    ).run()
+    assert stats.to_dict() == reference.to_dict()
+
+
+class TestTracedEquivalence:
+    """Cycle skipping under tracing (satellite: tracer timelines)."""
+
+    @pytest.mark.parametrize("machine", ["baseline", "dependence", "clustered"])
+    def test_event_timeline_identical(self, machine):
+        trace = get_trace("li", LENGTH)
+        fast_tracer = EventTracer(capacity=None)
+        ref_tracer = EventTracer(capacity=None)
+        fast_stats = PipelineSimulator(
+            MACHINES[machine](), trace, tracer=fast_tracer
+        ).run()
+        ref_stats = ReferencePipelineSimulator(
+            MACHINES[machine](), trace, tracer=ref_tracer
+        ).run()
+        assert fast_stats.to_dict() == ref_stats.to_dict()
+        fast_events = [
+            (e.cycle, e.kind, e.seq, e.cluster, e.detail, e.dur)
+            for e in fast_tracer.events
+        ]
+        ref_events = [
+            (e.cycle, e.kind, e.seq, e.cluster, e.detail, e.dur)
+            for e in ref_tracer.events
+        ]
+        assert fast_events == ref_events
+
+    def test_per_cause_stall_totals_identical(self):
+        trace = get_trace("go", LENGTH)
+        fast = PipelineSimulator(baseline_8way(), trace)
+        fast_stats = fast.run()
+        ref_stats = ReferencePipelineSimulator(baseline_8way(), trace).run()
+        assert fast_stats.stall_cycles == ref_stats.stall_cycles
+        assert fast_stats.dispatch_stalls == ref_stats.dispatch_stalls
+        assert fast_stats.issue_histogram == ref_stats.issue_histogram
+        # The skipped cycles are inside the total, not on top of it.
+        assert fast_stats.cycles == ref_stats.cycles
+
+
+def test_per_instruction_timings_identical():
+    """Not just aggregates: per-instruction lifecycle cycles match."""
+    trace = get_trace("gcc", LENGTH)
+    fast = PipelineSimulator(clustered_dependence_8way(), trace)
+    fast.run()
+    reference = ReferencePipelineSimulator(clustered_dependence_8way(), trace)
+    reference.run()
+    assert fast.fetch_cycle == reference.fetch_cycle
+    assert fast.dispatch_cycle == reference.dispatch_cycle
+    assert fast.issue_cycle == reference.issue_cycle
+    assert fast.complete_cycle == reference.complete_cycle
+    assert fast.commit_cycle == reference.commit_cycle
+    assert fast.cluster_of == reference.cluster_of
