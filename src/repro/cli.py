@@ -13,6 +13,10 @@ Commands:
 * ``campaign``   -- run a figure grid on the parallel campaign engine
   (worker pool, on-disk result cache, per-cell timeout/retry).
 * ``asm``        -- assemble, run, and optionally simulate a program.
+* ``fuzz``       -- differential fuzzing: sampled machines and
+  programs cross-checked against the architectural oracle and the
+  reference pipeline (``--selftest`` plants a steering bug to prove
+  the harness works).
 """
 
 from __future__ import annotations
@@ -281,6 +285,63 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.verify.fuzzer import DEFAULT_REPRO_DIR, run_fuzz
+    from repro.verify.selftest import run_selftest
+
+    if args.selftest:
+        import tempfile
+
+        repro_dir = args.repro_dir or tempfile.mkdtemp(prefix="repro-selftest-")
+        result = run_selftest(
+            cases=args.cases, seed=args.seed, repro_dir=repro_dir
+        )
+        print("planted-bug self-test:")
+        print(result.report.profile.format_report())
+        if not result.detected:
+            print("  FAILED: planted steering bug was not detected",
+                  file=sys.stderr)
+            return 1
+        print(f"  detected the planted bug; minimized reproducer: "
+              f"{result.reproducer} "
+              f"({result.minimized_instructions} instructions)")
+        return 0
+
+    progress = None
+    if args.verbose:
+        progress = lambda line: print(f"  {line}", file=sys.stderr)  # noqa: E731
+    report = run_fuzz(
+        cases=args.cases,
+        seed=args.seed,
+        jobs=args.jobs,
+        time_budget=args.time_budget,
+        repro_dir=args.repro_dir or DEFAULT_REPRO_DIR,
+        first_case=args.first_case,
+        case_seed=args.case_seed,
+        fifo_only=args.fifo_only,
+        minimize=not args.no_minimize,
+        progress=progress,
+    )
+    print("fuzz campaign:")
+    print(report.profile.format_report())
+    for failure in report.failures:
+        print(f"  case {failure.case_id} (seed {failure.case_seed}, "
+              f"{failure.shape}/{failure.kind}):")
+        for line in failure.failures[:3]:
+            print(f"    {line}")
+        if failure.reproducer:
+            print(f"    minimized reproducer: {failure.reproducer} "
+                  f"({failure.minimized_instructions} instructions)")
+    if args.metrics:
+        import json
+
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            json.dump(report.profile.to_dict(), handle, indent=1,
+                      sort_keys=True)
+        print(f"  fuzz metrics written to {args.metrics}")
+    return 0 if report.ok else 1
+
+
 def _cmd_compile(args) -> int:
     from repro.lang import compile_source, compile_to_assembly
 
@@ -446,6 +507,40 @@ def build_parser() -> argparse.ArgumentParser:
     asm.add_argument("--simulate", choices=sorted(MACHINES), default=None,
                      help="also run the trace through a machine")
     asm.set_defaults(func=_cmd_asm)
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="differential fuzzing: emulator vs oracle, fast vs reference",
+    )
+    fuzz.add_argument("--cases", type=int, default=200,
+                      help="fuzz cases to run (default 200)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed (default 0)")
+    fuzz.add_argument("-j", "--jobs", type=int, default=1,
+                      help="worker processes (default 1 = serial)")
+    fuzz.add_argument("--time-budget", type=float, default=None,
+                      help="wall-clock cap in seconds; remaining cases "
+                           "are skipped (default: none)")
+    fuzz.add_argument("--first-case", type=int, default=0,
+                      help="first case id (shifts the sampled range)")
+    fuzz.add_argument("--case-seed", type=int, default=None,
+                      help="replay exactly one case by its derived seed "
+                           "(what a reproducer header records)")
+    fuzz.add_argument("--fifo-only", action="store_true",
+                      help="sample only FIFO-steered machine shapes")
+    fuzz.add_argument("--repro-dir", default=None,
+                      help="directory for minimized reproducers (default "
+                           "tests/repros; a temp dir under --selftest)")
+    fuzz.add_argument("--no-minimize", action="store_true",
+                      help="report failures without shrinking them")
+    fuzz.add_argument("--metrics", default=None, metavar="PATH",
+                      help="also write the FuzzProfile JSON")
+    fuzz.add_argument("--selftest", action="store_true",
+                      help="plant a steering bug and assert the fuzzer "
+                           "detects and minimizes it")
+    fuzz.add_argument("-v", "--verbose", action="store_true",
+                      help="per-case progress on stderr")
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     compile_cmd = commands.add_parser(
         "compile", help="compile and run a Mini program"

@@ -178,3 +178,24 @@ def fig17_machines() -> dict[str, MachineConfig]:
         "2-cluster.1window.exec_steer": clustered_exec_steer_8way(),
         "2-cluster.windows.random_steer": clustered_random_8way(),
     }
+
+
+#: Every machine shape in the repo, keyed by a short stable name.
+#: This is the single source the test suites (``tests/machines.py``)
+#: and the fuzzer's config sampler (:mod:`repro.verify.sampler`) draw
+#: from, so "all machine shapes" means the same thing everywhere.
+MACHINE_REGISTRY = {
+    "baseline": baseline_8way,
+    "dependence": dependence_based_8way,
+    "clustered": clustered_dependence_8way,
+    "clustered_windows": clustered_windows_8way,
+    "exec_steer": clustered_exec_steer_8way,
+    "random": clustered_random_8way,
+    "modulo": clustered_modulo_8way,
+    "least_loaded": clustered_least_loaded_8way,
+}
+
+
+def machine_registry() -> dict[str, MachineConfig]:
+    """Fresh default-parameter configs for every registered shape."""
+    return {name: factory() for name, factory in MACHINE_REGISTRY.items()}

@@ -27,6 +27,7 @@ from repro.obs.export import (
 from repro.obs.profiling import (
     CampaignProfile,
     CellTiming,
+    FuzzProfile,
     ProfileReport,
     profile_simulation,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "write_metrics_json",
     "CampaignProfile",
     "CellTiming",
+    "FuzzProfile",
     "ProfileReport",
     "profile_simulation",
 ]

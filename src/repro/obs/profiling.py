@@ -249,6 +249,103 @@ class CampaignProfile:
         return "\n".join(lines)
 
 
+@dataclass
+class FuzzProfile:
+    """Observability record of one differential-fuzzing campaign.
+
+    The fuzzer (:mod:`repro.verify.fuzzer`) reports every case here:
+    which machine shape and workload kind it sampled, how long it
+    took, and whether any check failed.  The pool-degradation
+    counters (``retries`` / ``timeouts`` / ``serial_fallbacks``)
+    mirror :class:`CampaignProfile` so the shared campaign worker
+    pool can account into either profile type.
+    """
+
+    jobs: int = 1
+    seed: int = 0
+    wall_seconds: float = 0.0
+    #: Cases skipped because the time budget ran out.
+    skipped: int = 0
+    #: Sampled machine shapes -> case counts (coverage evidence).
+    shape_counts: dict[str, int] = field(default_factory=dict)
+    #: Workload kinds ("program" / "synthetic") -> case counts.
+    kind_counts: dict[str, int] = field(default_factory=dict)
+    #: Per-case wall-clock, in execution order.
+    case_seconds: list[float] = field(default_factory=list)
+    failures: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    serial_fallbacks: int = 0
+
+    def note_case(self, shape: str, kind: str, seconds: float,
+                  failed: bool) -> None:
+        """Record one executed case."""
+        self.shape_counts[shape] = self.shape_counts.get(shape, 0) + 1
+        self.kind_counts[kind] = self.kind_counts.get(kind, 0) + 1
+        self.case_seconds.append(seconds)
+        if failed:
+            self.failures += 1
+
+    @property
+    def cases(self) -> int:
+        """Cases actually executed (excludes budget skips)."""
+        return len(self.case_seconds)
+
+    @property
+    def cases_per_second(self) -> float:
+        """Executed cases per host second of campaign wall-clock."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.cases / self.wall_seconds
+
+    def to_dict(self) -> dict:
+        """JSON-ready primitives (for the metrics exporters)."""
+        return {
+            "jobs": self.jobs,
+            "seed": self.seed,
+            "wall_seconds": self.wall_seconds,
+            "cases": self.cases,
+            "cases_per_second": self.cases_per_second,
+            "failures": self.failures,
+            "skipped": self.skipped,
+            "shape_counts": dict(sorted(self.shape_counts.items())),
+            "kind_counts": dict(sorted(self.kind_counts.items())),
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "serial_fallbacks": self.serial_fallbacks,
+        }
+
+    def format_report(self) -> str:
+        """Aligned text summary of the fuzzing campaign."""
+        lines = [
+            f"  {self.cases} cases on {self.jobs} "
+            f"worker{'s' if self.jobs != 1 else ''} "
+            f"in {self.wall_seconds:.2f} s "
+            f"({self.cases_per_second:.1f} cases/s), seed {self.seed}",
+            f"  {self.failures} failing case"
+            f"{'' if self.failures == 1 else 's'}"
+            + (f", {self.skipped} skipped (time budget)" if self.skipped
+               else ""),
+        ]
+        shapes = ", ".join(
+            f"{name} x{count}"
+            for name, count in sorted(self.shape_counts.items())
+        )
+        kinds = ", ".join(
+            f"{name} x{count}"
+            for name, count in sorted(self.kind_counts.items())
+        )
+        lines.append(f"  shapes: {shapes or '(none)'}")
+        lines.append(f"  workloads: {kinds or '(none)'}")
+        if self.retries or self.timeouts or self.serial_fallbacks:
+            lines.append(
+                f"  degradation: {self.timeouts} timeouts, "
+                f"{self.retries} retries, "
+                f"{self.serial_fallbacks} serial fallbacks"
+            )
+        return "\n".join(lines)
+
+
 def profile_run(runner, *args, **kwargs):
     """Time an arbitrary callable returning SimStats-like results.
 

@@ -1,0 +1,95 @@
+"""Planted-bug self-test: prove the fuzzer can actually catch bugs.
+
+A verification harness that has never caught anything is an untested
+claim.  This module *plants* a realistic steering bug -- a FIFO
+dispatch heuristic that ignores the paper's behind-the-producer rule
+-- into the **fast** pipeline only (the module-level
+``FifoDispatchSteering`` name that ``repro.uarch.pipeline`` binds at
+import is rebound for the duration; the reference pipeline imports its
+own copy from :mod:`repro.uarch.steering` and keeps the correct
+logic).  The fuzzer must then (a) detect the fast/reference stats
+divergence and (b) shrink a failing case to a small reproducer.
+
+The patch is process-local, so the self-test always runs with
+``jobs=1`` -- worker processes would import the unpatched module and
+see no bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.uarch import pipeline as pipeline_mod
+from repro.uarch.steering import FifoDispatchSteering, Placement
+from repro.verify.fuzzer import FuzzReport, run_fuzz
+
+
+class PlantedSteeringBug(FifoDispatchSteering):
+    """FIFO steering with the dependence heuristic removed.
+
+    Every instruction is sent to a new empty FIFO regardless of where
+    its producers sit -- exactly the "steer blindly" failure mode the
+    paper's Section 5.1 heuristic exists to avoid.  Timing-visible,
+    architecturally invisible: the perfect planted bug for a
+    differential fuzzer.
+    """
+
+    def place(self, view, outstanding) -> Placement | None:
+        placement = self._new_fifo(view)
+        self.last_rule = "new_fifo" if placement is not None else ""
+        return placement
+
+
+@dataclass
+class SelfTestResult:
+    """Outcome of one planted-bug run."""
+
+    report: FuzzReport
+    detected: bool
+    minimized_instructions: int | None
+    reproducer: Path | None
+
+
+def run_selftest(
+    cases: int = 40,
+    seed: int = 1,
+    repro_dir: str | Path = "repros-selftest",
+    max_minimized: int = 1,
+) -> SelfTestResult:
+    """Plant the steering bug, fuzz FIFO machines, restore, report.
+
+    Args:
+        cases: Fuzz cases to run against the sabotaged simulator.
+        seed: Campaign seed (any seed works; the bug is gross).
+        repro_dir: Where the minimized reproducer is written -- point
+            this at a temp directory, not ``tests/repros``.
+        max_minimized: Failures to shrink (1 keeps the test fast).
+
+    Returns:
+        A :class:`SelfTestResult`; ``detected`` must be True and the
+        minimized reproducer small for the harness to be trusted.
+    """
+    original = pipeline_mod.FifoDispatchSteering
+    pipeline_mod.FifoDispatchSteering = PlantedSteeringBug
+    try:
+        report = run_fuzz(
+            cases=cases,
+            seed=seed,
+            jobs=1,  # the patch is process-local
+            repro_dir=repro_dir,
+            fifo_only=True,
+            minimize=True,
+            max_minimized=max_minimized,
+        )
+    finally:
+        pipeline_mod.FifoDispatchSteering = original
+    minimized = [f for f in report.failures if f.reproducer is not None]
+    return SelfTestResult(
+        report=report,
+        detected=bool(report.failures),
+        minimized_instructions=(
+            minimized[0].minimized_instructions if minimized else None
+        ),
+        reproducer=minimized[0].reproducer if minimized else None,
+    )

@@ -337,3 +337,42 @@ class TestCampaignProfile:
             results_io.stats_from_payload({"kind": "other"})
         with pytest.raises(ValueError, match="object"):
             results_io.stats_from_payload([1, 2])
+
+
+class TestCounterCacheAudit:
+    """Cycle-skip attribution and pre-analysis versioning survive the
+    cache: warm hits return byte-identical counters, and bumping the
+    derived-data version invalidates every key."""
+
+    def test_key_changes_with_preanalysis_version(self, monkeypatch):
+        from repro.core import campaign as campaign_mod
+
+        before = cache_key(baseline_8way(), "li", N)
+        monkeypatch.setattr(
+            campaign_mod, "PREANALYSIS_VERSION",
+            campaign_mod.PREANALYSIS_VERSION + 1,
+        )
+        assert cache_key(baseline_8way(), "li", N) != before
+
+    def test_warm_hit_preserves_cycle_skip_attribution(self, tmp_path):
+        """The optimized simulator folds skipped idle cycles into the
+        stall/issue counters; a cache hit must reproduce them exactly."""
+        grid = {"baseline": baseline_8way()}
+        cache = ResultCache(tmp_path / "cache")
+        cold, _ = run_campaign(
+            grid, workloads=("li",), max_instructions=N, cache=cache
+        )
+        warm, profile = run_campaign(
+            grid, workloads=("li",), max_instructions=N, cache=cache,
+            runner=_forbidden,
+        )
+        assert profile.cache_hits == 1
+        cold_stats = cold.stats["baseline"]["li"]
+        warm_stats = warm.stats["baseline"]["li"]
+        warm_stats.validate()
+        assert json.dumps(warm_stats.to_dict(), sort_keys=True) == (
+            json.dumps(cold_stats.to_dict(), sort_keys=True)
+        )
+        # The run really exercised cycle skipping (idle cycles show up
+        # as zero-issue rows), so the equality above is load-bearing.
+        assert warm_stats.issue_histogram.get(0, 0) > 0

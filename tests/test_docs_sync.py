@@ -150,3 +150,46 @@ class TestPerformanceDoc:
     def test_links_back(self, performance_doc):
         assert "architecture.md" in performance_doc
         assert "observability.md" in performance_doc
+
+
+class TestTestingDoc:
+    @pytest.fixture(scope="class")
+    def testing_doc(self):
+        return (DOCS / "testing.md").read_text(encoding="utf-8")
+
+    def test_every_suite_file_exists(self, testing_doc):
+        """Every tests/ or benchmarks/ path the doc names must exist."""
+        for line in testing_doc.splitlines():
+            for token in line.split("`"):
+                if token.startswith(("tests/", "benchmarks/")) and "<" not in token:
+                    matches = list(ROOT.glob(token))
+                    assert matches, (
+                        f"{token} referenced in docs/testing.md but missing"
+                    )
+
+    def test_every_verify_module_documented(self, testing_doc):
+        import repro.verify  # noqa: PLC0415
+
+        for module in ("generator", "oracle", "minimize", "selftest"):
+            assert f"repro.verify.{module}" in testing_doc
+            __import__(f"repro.verify.{module}")
+
+    def test_replay_recipe_flags_are_real(self, testing_doc):
+        """The documented replay flags must exist on the fuzz CLI."""
+        from repro.cli import build_parser  # noqa: PLC0415
+
+        help_text = build_parser().parse_args(["fuzz", "--cases", "1"])
+        for flag in ("--case-seed", "--fifo-only", "--first-case",
+                     "--selftest"):
+            assert flag in testing_doc
+            attr = flag.lstrip("-").replace("-", "_")
+            assert hasattr(help_text, attr), f"{flag} not a fuzz CLI flag"
+
+    def test_machine_registry_single_source(self, testing_doc):
+        assert "tests/machines.py" in testing_doc
+        assert "MACHINE_REGISTRY" in testing_doc
+
+    def test_cross_links(self, testing_doc, architecture_doc, readme):
+        assert "architecture.md" in testing_doc
+        assert "testing.md" in architecture_doc
+        assert "docs/testing.md" in readme

@@ -16,16 +16,7 @@ per-cause stall totals exactly.
 
 import pytest
 
-from repro.core.machines import (
-    baseline_8way,
-    clustered_dependence_8way,
-    clustered_exec_steer_8way,
-    clustered_least_loaded_8way,
-    clustered_modulo_8way,
-    clustered_random_8way,
-    clustered_windows_8way,
-    dependence_based_8way,
-)
+from repro.core.machines import baseline_8way, clustered_dependence_8way
 from repro.obs import EventTracer
 from repro.uarch.pipeline import PipelineSimulator, simulate
 from repro.uarch.pipeline_reference import (
@@ -33,21 +24,13 @@ from repro.uarch.pipeline_reference import (
     simulate_reference,
 )
 from repro.workloads import get_trace
+from tests.machines import ALL_MACHINES
 
 #: Reduced budget: 8 machines x 7 workloads stay fast while covering
 #: every steering/selection/cluster shape in the repo.
 LENGTH = 1_200
 
-MACHINES = {
-    "baseline": baseline_8way,
-    "dependence": dependence_based_8way,
-    "clustered": clustered_dependence_8way,
-    "clustered_windows": clustered_windows_8way,
-    "exec_steer": clustered_exec_steer_8way,
-    "random": clustered_random_8way,
-    "modulo": clustered_modulo_8way,
-    "least_loaded": clustered_least_loaded_8way,
-}
+MACHINES = ALL_MACHINES
 
 WORKLOADS = ("compress", "gcc", "go", "li", "m88ksim", "perl", "vortex")
 

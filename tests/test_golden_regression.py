@@ -10,18 +10,16 @@ refactors (e.g. float vs int cycle bookkeeping) do not trip them.
 
 import pytest
 
-from repro.core.machines import (
-    baseline_8way,
-    clustered_dependence_8way,
-    clustered_random_8way,
-    dependence_based_8way,
-)
+from repro.core.machines import baseline_8way
 from repro.uarch.pipeline import simulate
 from repro.workloads import get_trace
+from tests.machines import ALL_MACHINES
 
 LENGTH = 4_000
 
 #: (machine factory, workload) -> recorded IPC at LENGTH instructions.
+#: Every registered machine shape is pinned on at least one workload,
+#: so steering/selection changes in any variant trip a golden test.
 GOLDEN_IPC = {
     ("baseline", "compress"): 2.384,
     ("baseline", "gcc"): 3.306,
@@ -29,16 +27,20 @@ GOLDEN_IPC = {
     ("baseline", "m88ksim"): 3.711,
     ("dependence", "compress"): 2.247,
     ("dependence", "li"): 1.951,
+    ("dependence", "m88ksim"): 3.640,
     ("clustered", "m88ksim"): 3.215,
+    ("clustered_windows", "compress"): 2.104,
+    ("clustered_windows", "m88ksim"): 3.123,
+    ("exec_steer", "compress"): 2.381,
+    ("exec_steer", "m88ksim"): 3.493,
+    ("modulo", "compress"): 1.638,
+    ("modulo", "m88ksim"): 2.392,
+    ("least_loaded", "compress"): 1.641,
+    ("least_loaded", "m88ksim"): 2.414,
     ("random", "m88ksim"): 2.471,
 }
 
-FACTORIES = {
-    "baseline": baseline_8way,
-    "dependence": dependence_based_8way,
-    "clustered": clustered_dependence_8way,
-    "random": clustered_random_8way,
-}
+FACTORIES = ALL_MACHINES
 
 
 @pytest.mark.parametrize("machine,workload", sorted(GOLDEN_IPC))

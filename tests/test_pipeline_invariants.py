@@ -10,28 +10,15 @@ FIFO in-order issue, memory-ordering rules, and cluster port limits.
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.machines import (
-    baseline_8way,
-    clustered_dependence_8way,
-    clustered_exec_steer_8way,
-    clustered_random_8way,
-    clustered_windows_8way,
-    dependence_based_8way,
-)
+from repro.core.machines import baseline_8way, dependence_based_8way
 from repro.isa.instructions import OpClass
 from repro.uarch.config import ClusterConfig, MachineConfig, SelectionPolicy, SteeringPolicy
 from repro.uarch.depend import NO_PRODUCER, dependence_info
 from repro.uarch.pipeline import PipelineSimulator
 from repro.workloads import SyntheticConfig, get_trace, synthetic_trace
+from tests.machines import STEERED_MACHINES
 
-MACHINES = {
-    "baseline": baseline_8way,
-    "dependence": dependence_based_8way,
-    "clustered-fifos": clustered_dependence_8way,
-    "clustered-windows": clustered_windows_8way,
-    "exec-steer": clustered_exec_steer_8way,
-    "random": clustered_random_8way,
-}
+MACHINES = STEERED_MACHINES
 
 
 def run(config, trace):

@@ -15,7 +15,7 @@ from repro.core.results_io import (
     stats_from_dict,
     stats_to_dict,
 )
-from repro.uarch.stats import SimStats
+from repro.uarch.stats import SimStats, _COUNTER_FIELDS
 
 
 @pytest.fixture(scope="module")
@@ -87,3 +87,49 @@ class TestResultRoundtrip:
 
     def test_payload_is_plain_json(self, small_result):
         json.dumps(result_to_dict(small_result))  # must not raise
+
+
+class TestCounterAudit:
+    """Every plain counter -- including the cycle-skip attribution the
+    optimized simulator adds -- survives serialisation and merging."""
+
+    def _distinct_stats(self, offset: int) -> SimStats:
+        stats = SimStats(machine="m", workload=f"w{offset}")
+        for position, name in enumerate(_COUNTER_FIELDS):
+            setattr(stats, name, offset + 3 * position)
+        return stats
+
+    def test_every_counter_field_round_trips(self):
+        stats = self._distinct_stats(offset=11)
+        clone = stats_from_dict(stats_to_dict(stats))
+        for name in _COUNTER_FIELDS:
+            assert getattr(clone, name) == getattr(stats, name), name
+
+    def test_merge_sums_every_counter_field(self):
+        left, right = self._distinct_stats(5), self._distinct_stats(40)
+        merged = left.merge(right)
+        for name in _COUNTER_FIELDS:
+            assert getattr(merged, name) == (
+                getattr(left, name) + getattr(right, name)
+            ), name
+
+    def test_cycle_skip_run_round_trips_byte_identically(self):
+        """A run that actually skipped idle cycles serialises losslessly.
+
+        The optimized simulator replicates each skipped cycle's stall
+        attribution and issue-histogram rows; the payload must come
+        back byte-identical (and still pass the validate() audit) so
+        cached campaign results are indistinguishable from live runs.
+        """
+        from repro.uarch.pipeline import PipelineSimulator
+        from repro.workloads import get_trace
+
+        simulator = PipelineSimulator(baseline_8way(), get_trace("li", 2_000))
+        stats = simulator.run()
+        assert simulator.skipped_cycles > 0  # the scenario is exercised
+        payload = stats_to_dict(stats)
+        clone = stats_from_dict(payload)
+        clone.validate()
+        assert json.dumps(payload, sort_keys=True) == json.dumps(
+            stats_to_dict(clone), sort_keys=True
+        )

@@ -11,22 +11,13 @@ import random
 
 import pytest
 
-from repro.core.machines import (
-    baseline_8way,
-    clustered_dependence_8way,
-    clustered_random_8way,
-    dependence_based_8way,
-)
+from repro.core.machines import baseline_8way
 from repro.uarch.pipeline import simulate
 from repro.workloads import SyntheticConfig, synthetic_trace
+from tests.machines import CORE_MACHINES
 
 #: Machines under test: window, FIFO, clustered-FIFO, random-steered.
-MACHINE_FACTORIES = {
-    "baseline": baseline_8way,
-    "dependence": dependence_based_8way,
-    "clustered": clustered_dependence_8way,
-    "random-steer": clustered_random_8way,
-}
+MACHINE_FACTORIES = CORE_MACHINES
 
 #: Seeds for the randomised trials (one synthetic workload each).
 TRIALS = tuple(range(6))
