@@ -6,19 +6,56 @@ Growing a conventional issue window raises IPC but slows the clock
 window.  The dependence-based machine breaks the trade-off: near-big-
 window IPC at small-window clock, so it sits above the conventional
 curve -- which is what "complexity-effective" means.
+
+The design-space sweep benchmark additionally times the full
+shapes x technologies frontier (``design_space_frontier``) cold and
+warm, asserts the warm pass performs zero simulations, and folds both
+wall times into ``BENCH_frontier.json`` (repo root) next to the
+checked-in ``recorded`` numbers -- the ``BENCH_simulator.json``
+pattern applied to the campaign cache.
 """
+
+import json
+import os
+import time
 
 from conftest import bench_instructions
 
+from repro.core.campaign import ResultCache
 from repro.core.frontier import (
     conventional_frontier,
     dependence_based_point,
+    design_space_frontier,
     format_frontier,
     issue_width_frontier,
 )
 from repro.technology import TECH_018
 
 WORKLOADS = ("compress", "gcc", "li", "m88ksim", "vortex")
+
+#: The checked-in frontier sweep record (repo root).
+BENCH_FRONTIER_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_frontier.json"
+)
+
+#: A warm (all-cache) sweep must beat the cold sweep by at least this
+#: factor; cache reads are orders of magnitude cheaper than simulating,
+#: so 2x catches a broken cache path without inviting CI flakiness.
+MIN_WARM_SPEEDUP = 2.0
+
+
+def _record_sweep(measured: dict) -> None:
+    """Fold this run's measurements into ``BENCH_frontier.json``."""
+    payload = {"kind": "repro-frontier-bench"}
+    try:
+        with open(BENCH_FRONTIER_PATH, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        pass  # keep the fresh payload; the recorded block is optional
+    payload["measured"] = measured
+    with open(BENCH_FRONTIER_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
 
 
 def build_frontier():
@@ -75,3 +112,52 @@ def test_issue_width_frontier(benchmark, paper_report):
     # ...while the window-logic clock keeps slowing.
     clocks = [p.clock_ps for p in points]
     assert clocks == sorted(clocks)
+
+
+def test_design_space_sweep_cold_vs_warm(benchmark, paper_report, tmp_path):
+    """Time the shapes x technologies sweep cold, then re-run it warm."""
+    cache = ResultCache(tmp_path / "cache")
+    budget = bench_instructions()
+
+    def cold_sweep():
+        return design_space_frontier(
+            workloads=WORKLOADS, max_instructions=budget, cache=cache
+        )
+
+    points, cold_profile = benchmark.pedantic(
+        cold_sweep, rounds=1, iterations=1
+    )
+    cold_seconds = benchmark.stats.stats.mean
+    assert cold_profile.simulated_cells == cold_profile.cell_count
+
+    started = time.perf_counter()
+    warm_points, warm_profile = design_space_frontier(
+        workloads=WORKLOADS, max_instructions=budget, cache=cache
+    )
+    warm_seconds = time.perf_counter() - started
+
+    # The warm sweep is served entirely from the campaign cache and
+    # must reproduce the cold run's points exactly.
+    assert warm_profile.simulated_cells == 0
+    assert warm_profile.cache_hits == cold_profile.cell_count
+    assert warm_points == points
+
+    paper_report(
+        "Design-space frontier sweep (shapes x technologies)",
+        format_frontier(points)
+        + f"\n  cold: {cold_seconds:.2f}s "
+        f"({cold_profile.cell_count} cells simulated); "
+        f"warm: {warm_seconds:.2f}s (all cache, "
+        f"{cold_seconds / warm_seconds:.0f}x)",
+    )
+    _record_sweep(
+        {
+            "instructions_per_cell": budget,
+            "cells": cold_profile.cell_count,
+            "frontier_points": len(points),
+            "cold_seconds": round(cold_seconds, 3),
+            "warm_seconds": round(warm_seconds, 3),
+            "warm_speedup": round(cold_seconds / warm_seconds, 1),
+        }
+    )
+    assert warm_seconds * MIN_WARM_SPEEDUP < cold_seconds

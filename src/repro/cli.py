@@ -2,7 +2,12 @@
 
 Commands:
 
-* ``delay``      -- print the Table 2 delay summary (and Table 4).
+* ``delay``      -- print the Table 2 delay summary (and Table 4);
+  ``--machine`` prints a per-structure critical-path breakdown for
+  any registered machine shape.
+* ``frontier``   -- the complexity-effectiveness frontier: window
+  sizes and every registered shape swept over the campaign pool
+  (cached), with BIPS at one or all technology nodes.
 * ``machines``   -- list the simulated machine configurations.
 * ``workloads``  -- list (and optionally profile) the benchmark suite.
 * ``simulate``   -- run one machine over one workload.
@@ -57,6 +62,13 @@ def _cmd_delay(args) -> int:
     techs = (
         [technology_by_feature_size(args.tech)] if args.tech else list(TECHNOLOGIES)
     )
+    if args.machine:
+        from repro.delay.critical_path import critical_path
+
+        config = MACHINES[args.machine]()
+        for tech in techs:
+            print(critical_path(config, tech).format_report())
+        return 0
     rows = []
     for tech in techs:
         for point in ((4, 32), (8, 64)):
@@ -212,15 +224,47 @@ def _cmd_timeline(args) -> int:
 
 
 def _cmd_frontier(args) -> int:
+    from repro.core.campaign import ResultCache
     from repro.core.frontier import (
-        conventional_frontier,
-        dependence_based_point,
+        DEFAULT_WINDOW_SIZES,
+        design_space_frontier,
         format_frontier,
     )
+    from repro.core.machines import machine_registry
 
-    points = conventional_frontier(max_instructions=args.instructions)
-    points.append(dependence_based_point(max_instructions=args.instructions))
+    if args.tech == "all":
+        techs = list(TECHNOLOGIES)
+    else:
+        techs = [technology_by_feature_size(float(args.tech))]
+    # Window-size sweep plus every registered shape; distinct configs
+    # are simulated once regardless of how many technologies they are
+    # clocked at.
+    grid = {
+        f"window-{window_size}": machines.baseline_8way(window_size=window_size)
+        for window_size in DEFAULT_WINDOW_SIZES
+    }
+    grid.update(machine_registry())
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    points, profile = design_space_frontier(
+        techs=techs,
+        machines=grid,
+        max_instructions=args.instructions,
+        jobs=args.jobs,
+        cache=cache,
+    )
     print(format_frontier(points))
+    from repro.report import frontier_chart
+
+    print("\nBIPS frontier:")
+    print(frontier_chart(points))
+    print("\ncampaign profile:")
+    print(profile.format_report())
+    if args.metrics:
+        import json
+
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            json.dump(profile.to_dict(), handle, indent=1, sort_keys=True)
+        print(f"  campaign metrics written to {args.metrics}")
     return 0
 
 
@@ -394,6 +438,9 @@ def build_parser() -> argparse.ArgumentParser:
     delay = commands.add_parser("delay", help="print the Table 2 delay summary")
     delay.add_argument("--tech", type=float, default=None,
                        help="feature size in um (0.8, 0.35, 0.18); default all")
+    delay.add_argument("--machine", choices=sorted(MACHINES), default=None,
+                       help="print the per-structure critical-path "
+                            "breakdown for one machine instead")
     delay.set_defaults(func=_cmd_delay)
 
     machine_list = commands.add_parser("machines", help="list machine configs")
@@ -498,6 +545,19 @@ def build_parser() -> argparse.ArgumentParser:
         "frontier", help="the complexity-effectiveness frontier"
     )
     frontier.add_argument("-n", "--instructions", type=int, default=8_000)
+    frontier.add_argument("--tech", choices=("0.8", "0.35", "0.18", "all"),
+                          default="0.18",
+                          help="technology node(s) to clock the sweep at "
+                               "(default 0.18)")
+    frontier.add_argument("-j", "--jobs", type=int, default=1,
+                          help="worker processes (default 1 = serial)")
+    frontier.add_argument("--cache-dir", default=".repro-cache",
+                          help="result cache directory "
+                               "(default .repro-cache)")
+    frontier.add_argument("--no-cache", action="store_true",
+                          help="simulate every cell, read/write no cache")
+    frontier.add_argument("--metrics", default=None, metavar="PATH",
+                          help="also write campaign profile JSON")
     frontier.set_defaults(func=_cmd_frontier)
 
     asm = commands.add_parser("asm", help="assemble and run a program")

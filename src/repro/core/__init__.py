@@ -6,6 +6,11 @@
   machines over the benchmark suite and package the results.
 * :mod:`repro.core.speedup` -- the Section 5.5 clock-adjusted
   performance comparison.
+* :mod:`repro.core.design` -- :class:`DesignPoint`: a machine at a
+  technology node, the unit of the joint IPC x clock design space.
+* :mod:`repro.core.frontier` -- the complexity-effectiveness
+  frontier, including the all-shapes x all-technologies sweep.
+* :mod:`repro.core.aggregate` -- the shared mean reductions.
 """
 
 from repro.core.machines import (
@@ -27,11 +32,20 @@ from repro.core.experiments import (
     run_machines,
 )
 from repro.core.speedup import clock_adjusted_speedup, speedup_summary
+from repro.core.aggregate import arithmetic_mean, geometric_mean, mean_ipc
+from repro.core.design import (
+    DesignPoint,
+    SweptDesign,
+    design_points,
+    sweep_design_points,
+)
 from repro.core.frontier import (
     FrontierPoint,
     conventional_frontier,
     dependence_based_point,
+    design_space_frontier,
     format_frontier,
+    issue_width_frontier,
 )
 
 __all__ = [
@@ -54,5 +68,14 @@ __all__ = [
     "FrontierPoint",
     "conventional_frontier",
     "dependence_based_point",
+    "design_space_frontier",
+    "issue_width_frontier",
     "format_frontier",
+    "DesignPoint",
+    "SweptDesign",
+    "design_points",
+    "sweep_design_points",
+    "geometric_mean",
+    "arithmetic_mean",
+    "mean_ipc",
 ]

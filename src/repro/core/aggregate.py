@@ -1,0 +1,60 @@
+"""Shared aggregation helpers for experiment consumers.
+
+The frontier, the speedup summary, and the experiment drivers all
+reduce per-workload numbers to one figure of merit.  The reductions
+live here -- once -- so the three consumers cannot drift apart:
+
+* :func:`geometric_mean` for IPC across workloads (ratios of ratios
+  stay meaningful under a geometric mean);
+* :func:`arithmetic_mean` for per-workload speedups and relative IPC
+  (the paper quotes arithmetic means, e.g. "mean 16%");
+* :func:`mean_ipc` for the mean-IPC-over-workloads loop over a
+  ``workload -> SimStats`` mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.uarch.stats import SimStats
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values.
+
+    Raises:
+        ValueError: for an empty sequence.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean needs at least one value")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean.
+
+    Raises:
+        ValueError: for an empty sequence.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("arithmetic_mean needs at least one value")
+    return sum(values) / len(values)
+
+
+def mean_ipc(stats_by_workload: Mapping[str, SimStats]) -> float:
+    """Geometric-mean IPC over a ``workload -> SimStats`` mapping.
+
+    This is the single mean-IPC-over-workloads reduction behind every
+    frontier point.
+
+    Raises:
+        ValueError: for an empty mapping.
+    """
+    return geometric_mean(
+        stats.ipc for stats in stats_by_workload.values()
+    )

@@ -37,7 +37,7 @@ import multiprocessing
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable
+from typing import Any, Callable
 
 from repro.core import results_io
 from repro.core.experiments import DEFAULT_INSTRUCTIONS, ExperimentResult
@@ -72,7 +72,7 @@ class CampaignCell:
         return f"{self.machine}/{self.workload}"
 
 
-def _canonical(value):
+def _canonical(value: object) -> Any:
     """Recursively reduce a config value to JSON-stable primitives.
 
     Dataclasses become sorted-key dicts, enums their wire values --
@@ -136,7 +136,7 @@ class ResultCache:
     trusts; anything unreadable is deleted and recomputed.
     """
 
-    def __init__(self, root: str | Path):
+    def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
 
@@ -195,7 +195,12 @@ def simulate_cell(cell: CampaignCell) -> dict:
     return {"stats": stats.to_dict(), "seconds": time.perf_counter() - start}
 
 
-def _run_serially(cell: CampaignCell, runner, retries: int, profile) -> dict:
+def _run_serially(
+    cell: CampaignCell,
+    runner: Callable[[CampaignCell], dict],
+    retries: int,
+    profile: CampaignProfile,
+) -> dict:
     """Run one cell in-process, retrying on failure."""
     attempts = retries + 1
     for attempt in range(attempts):
@@ -211,11 +216,11 @@ def _run_serially(cell: CampaignCell, runner, retries: int, profile) -> dict:
 def _collect_parallel(
     cells: list[CampaignCell],
     jobs: int,
-    runner,
+    runner: Callable[[CampaignCell], dict],
     timeout: float | None,
     retries: int,
     profile: CampaignProfile,
-    progress,
+    progress: Callable[[str], None] | None,
 ) -> dict[int, dict]:
     """Fan cells out over a process pool; returns index -> payload.
 

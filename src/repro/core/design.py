@@ -1,0 +1,171 @@
+"""DesignPoint: a machine configuration at a technology node.
+
+The paper's figure of merit is joint -- IPC (from the timing
+simulator) times clock (from the delay models).  A
+:class:`DesignPoint` is the unit that carries both halves: a frozen
+(:class:`~repro.uarch.config.MachineConfig`,
+:class:`~repro.technology.params.Technology`) pair whose clock comes
+from the single :mod:`repro.delay.critical_path` layer, and whose IPC
+comes from sweeping the point over the campaign engine.
+
+:func:`sweep_design_points` is the campaign integration: it runs every
+*distinct* machine config exactly once over the workload grid (IPC is
+technology-independent, so one simulation serves all three technology
+nodes) with full result caching, then annotates each design point's
+statistics with its clock -- so a warm-cache design-space sweep
+re-runs zero simulations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.experiments import DEFAULT_INSTRUCTIONS
+from repro.delay.critical_path import CriticalPath, critical_path
+from repro.obs.profiling import CampaignProfile
+from repro.technology.params import TECHNOLOGIES, Technology
+from repro.uarch.config import MachineConfig
+from repro.uarch.stats import SimStats
+from repro.workloads import WORKLOAD_NAMES
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One point of the joint design space: a machine at a technology.
+
+    The clock side is fully derived: every delay-model geometry comes
+    from ``config`` through :func:`repro.delay.critical_path.critical_path`.
+    """
+
+    config: MachineConfig
+    tech: Technology
+
+    @property
+    def label(self) -> str:
+        """Stable display label, e.g. ``baseline-8way-64w@0.18um``."""
+        return f"{self.config.name}@{self.tech.name}"
+
+    def critical_path(self) -> CriticalPath:
+        """The full per-structure delay breakdown of this point."""
+        return critical_path(self.config, self.tech)
+
+    @property
+    def clock_ps(self) -> float:
+        """Supported clock period (ps): Section 5.5's cycle bound."""
+        return self.critical_path().clock_ps
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Clock frequency implied by :attr:`clock_ps`."""
+        return 1000.0 / self.clock_ps
+
+    @property
+    def bounding_structure(self) -> str:
+        """Label of the structure that sets the clock."""
+        return self.critical_path().bounding_structure.label
+
+    def bips(self, mean_ipc: float) -> float:
+        """Billions of instructions per second at a simulated IPC."""
+        return mean_ipc * self.frequency_ghz
+
+    def annotate(self, stats: SimStats) -> SimStats:
+        """A copy of ``stats`` carrying this point's clock.
+
+        The copy's :attr:`~repro.uarch.stats.SimStats.frequency_ghz`
+        and :attr:`~repro.uarch.stats.SimStats.bips` become
+        meaningful; the input (which may be shared across technology
+        nodes through the campaign cache) is left untouched.
+        """
+        annotated = dataclasses.replace(stats)
+        annotated.clock_ps = self.clock_ps
+        return annotated
+
+
+def design_points(
+    configs: dict[str, MachineConfig],
+    techs: Sequence[Technology] = TECHNOLOGIES,
+) -> list[tuple[str, DesignPoint]]:
+    """The cross product (label, DesignPoint) of configs x technologies."""
+    return [
+        (f"{name}@{tech.name}", DesignPoint(config=config, tech=tech))
+        for tech in techs
+        for name, config in configs.items()
+    ]
+
+
+@dataclass(frozen=True)
+class SweptDesign:
+    """One design point with its simulated, clock-annotated results."""
+
+    label: str
+    point: DesignPoint
+    mean_ipc: float
+    #: Per-workload statistics, each annotated with the point's clock.
+    stats: dict[str, SimStats]
+
+    @property
+    def clock_ps(self) -> float:
+        return self.point.clock_ps
+
+    @property
+    def bips(self) -> float:
+        """The joint metric: mean IPC x clock frequency."""
+        return self.point.bips(self.mean_ipc)
+
+
+def sweep_design_points(
+    points: Sequence[tuple[str, DesignPoint]],
+    workloads: tuple[str, ...] = WORKLOAD_NAMES,
+    max_instructions: int = DEFAULT_INSTRUCTIONS,
+    name: str = "design-space",
+    **campaign_options: Any,
+) -> tuple[list[SweptDesign], CampaignProfile]:
+    """Simulate and clock-annotate a set of design points.
+
+    Distinct machine configs are simulated exactly once over the
+    workload grid on the campaign engine (IPC does not depend on the
+    technology node), then every design point sharing a config reuses
+    those statistics with its own clock annotation.  Extra keyword
+    arguments (``jobs``, ``cache``, ``timeout``, ``retries``,
+    ``progress``, ``runner``) are forwarded to
+    :func:`~repro.core.campaign.run_campaign`.
+
+    Returns:
+        ``(swept, profile)`` in the order of ``points``.
+    """
+    # Imported here, not at module top: campaign builds on
+    # experiments.ExperimentResult, which this module also imports.
+    from repro.core.aggregate import mean_ipc
+    from repro.core.campaign import run_campaign
+
+    unique_configs: dict[MachineConfig, str] = {}
+    for _label, point in points:
+        unique_configs.setdefault(point.config, f"design-{len(unique_configs)}")
+
+    grid = {sim_name: config for config, sim_name in unique_configs.items()}
+    result, profile = run_campaign(
+        grid,
+        workloads=workloads,
+        max_instructions=max_instructions,
+        name=name,
+        **campaign_options,
+    )
+
+    swept: list[SweptDesign] = []
+    for label, point in points:
+        sim_name = unique_configs[point.config]
+        per_workload = result.stats[sim_name]
+        swept.append(
+            SweptDesign(
+                label=label,
+                point=point,
+                mean_ipc=mean_ipc(per_workload),
+                stats={
+                    workload: point.annotate(stats)
+                    for workload, stats in per_workload.items()
+                },
+            )
+        )
+    return swept, profile

@@ -8,8 +8,10 @@ compares over the seven-benchmark suite and returns an
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core import machines as machine_factories
+from repro.core.aggregate import arithmetic_mean
 from repro.uarch.config import MachineConfig
 from repro.uarch.stats import SimStats
 from repro.workloads import WORKLOAD_NAMES
@@ -56,7 +58,7 @@ class ExperimentResult:
     def mean_relative_ipc(self, machine_name: str, reference: str) -> float:
         """Arithmetic-mean relative IPC across workloads."""
         ratios = self.relative_ipc(machine_name, reference)
-        return sum(ratios.values()) / len(ratios)
+        return arithmetic_mean(ratios.values())
 
     def bypass_frequency(self, machine_name: str) -> dict[str, float]:
         """Per-workload inter-cluster bypass frequency (Figure 17)."""
@@ -115,7 +117,7 @@ def run_machines(
     workloads: tuple[str, ...] = WORKLOAD_NAMES,
     max_instructions: int = DEFAULT_INSTRUCTIONS,
     name: str = "custom",
-    **campaign_options,
+    **campaign_options: Any,
 ) -> ExperimentResult:
     """Simulate a set of machines over a set of benchmarks.
 
@@ -142,7 +144,7 @@ def run_machines(
 
 
 def run_fig13(
-    max_instructions: int = DEFAULT_INSTRUCTIONS, **campaign_options
+    max_instructions: int = DEFAULT_INSTRUCTIONS, **campaign_options: Any
 ) -> ExperimentResult:
     """Figure 13: baseline window vs. single-cluster dependence-based.
 
@@ -159,7 +161,7 @@ def run_fig13(
 
 
 def run_fig15(
-    max_instructions: int = DEFAULT_INSTRUCTIONS, **campaign_options
+    max_instructions: int = DEFAULT_INSTRUCTIONS, **campaign_options: Any
 ) -> ExperimentResult:
     """Figure 15: baseline vs. the 2x4-way clustered dependence-based
     machine with 2-cycle inter-cluster bypasses.
@@ -176,7 +178,7 @@ def run_fig15(
 
 
 def run_fig17(
-    max_instructions: int = DEFAULT_INSTRUCTIONS, **campaign_options
+    max_instructions: int = DEFAULT_INSTRUCTIONS, **campaign_options: Any
 ) -> ExperimentResult:
     """Figure 17: the five clustered organisations (IPC and
     inter-cluster bypass frequency).

@@ -6,27 +6,34 @@ performance -- instructions per second -- peaks somewhere, and a
 microarchitecture that breaks the trade-off (the dependence-based
 design) can sit above the whole curve.  This module sweeps the
 conventional design space and places the dependence-based machine on
-the same axes.
+the same axes; :func:`design_space_frontier` extends the sweep to
+every registered machine shape at every technology node.
 
-Clock model: the cycle is bounded by the slower of rename and window
-logic (wakeup + select).  Bypass delay is excluded from the bound
-because the paper's remedy for it -- clustering -- applies to both
-kinds of machine and is evaluated separately (Figures 15/17); this is
-the same accounting Section 5.5 uses.
+All clock arithmetic is delegated: each frontier point is a
+:class:`~repro.core.design.DesignPoint` whose clock comes from
+:mod:`repro.delay.critical_path` (the slower of rename and window
+logic; bypass is excluded from the bound because the paper's remedy
+for it -- clustering -- is evaluated separately, the same accounting
+Section 5.5 uses).  IPC comes from the campaign engine with full
+result caching, so a warm-cache sweep re-runs zero simulations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
 
-from repro.core.machines import baseline_8way, dependence_based_8way
-from repro.delay.rename import RenameDelayModel
-from repro.delay.reservation import ReservationTableDelayModel
-from repro.delay.select import SelectionDelayModel
-from repro.delay.wakeup import WakeupDelayModel
-from repro.technology.params import TECH_018, Technology
-from repro.uarch.pipeline import simulate
-from repro.workloads import WORKLOAD_NAMES, get_trace
+from repro.core.design import DesignPoint, SweptDesign, sweep_design_points
+from repro.core.machines import (
+    baseline_8way,
+    dependence_based_8way,
+    machine_registry,
+)
+from repro.delay import critical_path as cp
+from repro.obs.profiling import CampaignProfile
+from repro.technology.params import TECH_018, TECHNOLOGIES, Technology
+from repro.uarch.config import MachineConfig
+from repro.workloads import WORKLOAD_NAMES
 
 #: Window sizes swept for the conventional curve.
 DEFAULT_WINDOW_SIZES = (8, 16, 32, 64, 128)
@@ -40,6 +47,10 @@ class FrontierPoint:
     window_size: int
     mean_ipc: float
     clock_ps: float
+    #: Technology node label (empty for single-technology sweeps).
+    tech: str = ""
+    #: Label of the structure that sets the clock (empty if unknown).
+    bounded_by: str = ""
 
     @property
     def frequency_ghz(self) -> float:
@@ -52,20 +63,16 @@ class FrontierPoint:
         return self.mean_ipc * self.frequency_ghz
 
 
-def _geometric_mean(values: list[float]) -> float:
-    product = 1.0
-    for value in values:
-        product *= value
-    return product ** (1.0 / len(values))
+def conventional_clock_ps(
+    tech: Technology, issue_width: int, window_size: int
+) -> float:
+    """Cycle bound for a conventional window machine.
 
-
-def conventional_clock_ps(tech: Technology, issue_width: int, window_size: int) -> float:
-    """Cycle bound for a conventional window machine: the slower of
-    rename and wakeup+select (see module docstring on bypass)."""
-    rename = RenameDelayModel(tech).total(issue_width)
-    window_logic = WakeupDelayModel(tech).total(issue_width, window_size)
-    window_logic += SelectionDelayModel(tech).total(window_size)
-    return max(rename, window_logic)
+    Thin wrapper: builds the config and reads its critical path (see
+    module docstring on bypass).
+    """
+    config = baseline_8way(window_size=window_size, issue_width=issue_width)
+    return cp.clock_ps(config, tech)
 
 
 def dependence_clock_ps(
@@ -74,20 +81,52 @@ def dependence_clock_ps(
     physical_registers: int = 128,
     fifo_count: int = 8,
 ) -> float:
-    """Cycle bound for the dependence-based machine: the slower of
-    rename and its reservation-table wakeup + heads-only select."""
-    rename = RenameDelayModel(tech).total(issue_width)
-    wakeup = ReservationTableDelayModel(tech).total(issue_width, physical_registers)
-    select = SelectionDelayModel(tech).total(fifo_count)
-    return max(rename, wakeup + select)
+    """Cycle bound for the dependence-based machine.
+
+    Thin wrapper over the critical path of the FIFO config;
+    ``physical_registers`` is the reservation-table tag space (one
+    ready bit per in-flight destination, i.e. ``max_in_flight``).
+    """
+    config = dependence_based_8way(
+        fifo_count=fifo_count,
+        issue_width=issue_width,
+        max_in_flight=physical_registers,
+    )
+    return cp.clock_ps(config, tech)
 
 
-def _mean_ipc(config, workloads, max_instructions) -> float:
-    ipcs = [
-        simulate(config, get_trace(name, max_instructions)).ipc
-        for name in workloads
+def _to_point(swept: SweptDesign, label: str, window_size: int) -> FrontierPoint:
+    path = swept.point.critical_path()
+    return FrontierPoint(
+        label=label,
+        window_size=window_size,
+        mean_ipc=swept.mean_ipc,
+        clock_ps=path.clock_ps,
+        tech=swept.point.tech.name,
+        bounded_by=path.bounding_structure.label,
+    )
+
+
+def _sweep_one_tech(
+    configs: Mapping[str, MachineConfig],
+    tech: Technology,
+    workloads: tuple[str, ...],
+    max_instructions: int,
+    name: str,
+    **campaign_options: Any,
+) -> list[SweptDesign]:
+    points = [
+        (label, DesignPoint(config=config, tech=tech))
+        for label, config in configs.items()
     ]
-    return _geometric_mean(ipcs)
+    swept, _profile = sweep_design_points(
+        points,
+        workloads=workloads,
+        max_instructions=max_instructions,
+        name=name,
+        **campaign_options,
+    )
+    return swept
 
 
 def conventional_frontier(
@@ -96,23 +135,25 @@ def conventional_frontier(
     window_sizes: tuple[int, ...] = DEFAULT_WINDOW_SIZES,
     workloads: tuple[str, ...] = WORKLOAD_NAMES,
     max_instructions: int = 10_000,
+    **campaign_options: Any,
 ) -> list[FrontierPoint]:
     """Sweep conventional window sizes; IPC from simulation, clock
-    from the delay models."""
-    points = []
-    for window_size in window_sizes:
-        config = baseline_8way(window_size=window_size, issue_width=issue_width)
-        mean_ipc = _mean_ipc(config, workloads, max_instructions)
-        clock = conventional_clock_ps(tech, issue_width, window_size)
-        points.append(
-            FrontierPoint(
-                label=f"window-{window_size}",
-                window_size=window_size,
-                mean_ipc=mean_ipc,
-                clock_ps=clock,
-            )
+    from the critical-path layer.  Extra keyword arguments (``jobs``,
+    ``cache``, ...) reach :func:`~repro.core.campaign.run_campaign`."""
+    configs = {
+        f"window-{window_size}": baseline_8way(
+            window_size=window_size, issue_width=issue_width
         )
-    return points
+        for window_size in window_sizes
+    }
+    swept = _sweep_one_tech(
+        configs, tech, workloads, max_instructions,
+        name="conventional-frontier", **campaign_options,
+    )
+    return [
+        _to_point(item, label=f"window-{window_size}", window_size=window_size)
+        for window_size, item in zip(window_sizes, swept)
+    ]
 
 
 def dependence_based_point(
@@ -122,16 +163,19 @@ def dependence_based_point(
     fifo_depth: int = 8,
     workloads: tuple[str, ...] = WORKLOAD_NAMES,
     max_instructions: int = 10_000,
+    **campaign_options: Any,
 ) -> FrontierPoint:
     """The dependence-based machine on the same axes."""
-    config = dependence_based_8way(fifo_count=fifo_count, fifo_depth=fifo_depth)
-    mean_ipc = _mean_ipc(config, workloads, max_instructions)
-    clock = dependence_clock_ps(tech, issue_width, fifo_count=fifo_count)
-    return FrontierPoint(
-        label=f"dependence-{fifo_count}x{fifo_depth}",
-        window_size=fifo_count * fifo_depth,
-        mean_ipc=mean_ipc,
-        clock_ps=clock,
+    config = dependence_based_8way(
+        fifo_count=fifo_count, fifo_depth=fifo_depth, issue_width=issue_width
+    )
+    label = f"dependence-{fifo_count}x{fifo_depth}"
+    swept = _sweep_one_tech(
+        {label: config}, tech, workloads, max_instructions,
+        name="dependence-point", **campaign_options,
+    )
+    return _to_point(
+        swept[0], label=label, window_size=fifo_count * fifo_depth
     )
 
 
@@ -141,6 +185,7 @@ def issue_width_frontier(
     window_per_width: int = 8,
     workloads: tuple[str, ...] = WORKLOAD_NAMES,
     max_instructions: int = 10_000,
+    **campaign_options: Any,
 ) -> list[FrontierPoint]:
     """Sweep the other complexity axis: issue width.
 
@@ -150,12 +195,12 @@ def issue_width_frontier(
     flatten while window-logic delay keeps growing -- the "brainiac"
     half of the paper's introduction.
     """
-    from repro.uarch.config import ClusterConfig, MachineConfig, SteeringPolicy
+    from repro.uarch.config import ClusterConfig, SteeringPolicy
 
-    points = []
+    configs = {}
     for width in issue_widths:
         window_size = window_per_width * width
-        config = MachineConfig(
+        configs[f"{width}-way/{window_size}"] = MachineConfig(
             name=f"conventional-{width}way",
             fetch_width=width,
             dispatch_width=width,
@@ -164,27 +209,80 @@ def issue_width_frontier(
             clusters=(ClusterConfig(window_size=window_size, fu_count=width),),
             steering=SteeringPolicy.NONE,
         )
-        mean_ipc = _mean_ipc(config, workloads, max_instructions)
-        clock = conventional_clock_ps(tech, width, window_size)
-        points.append(
-            FrontierPoint(
-                label=f"{width}-way/{window_size}",
-                window_size=window_size,
-                mean_ipc=mean_ipc,
-                clock_ps=clock,
-            )
+    swept = _sweep_one_tech(
+        configs, tech, workloads, max_instructions,
+        name="issue-width-frontier", **campaign_options,
+    )
+    return [
+        _to_point(item, label=label, window_size=config.total_capacity)
+        for (label, config), item in zip(configs.items(), swept)
+    ]
+
+
+def design_space_frontier(
+    techs: Sequence[Technology] = TECHNOLOGIES,
+    machines: Mapping[str, MachineConfig] | None = None,
+    workloads: tuple[str, ...] = WORKLOAD_NAMES,
+    max_instructions: int = 10_000,
+    **campaign_options: Any,
+) -> tuple[list[FrontierPoint], CampaignProfile]:
+    """Sweep every registered machine shape at every technology node.
+
+    Each distinct config is simulated once over the workload grid (IPC
+    is technology-independent); with a warm cache the whole sweep
+    re-runs zero simulations.  Returns the BIPS frontier points, in
+    technology-major order, and the campaign profile (whose
+    ``simulated_cells`` count the CI smoke test asserts on).
+    """
+    if machines is None:
+        machines = machine_registry()
+    points = [
+        (f"{name}@{tech.name}", DesignPoint(config=config, tech=tech))
+        for tech in techs
+        for name, config in machines.items()
+    ]
+    swept, profile = sweep_design_points(
+        points,
+        workloads=workloads,
+        max_instructions=max_instructions,
+        name="design-space-frontier",
+        **campaign_options,
+    )
+    frontier = [
+        _to_point(
+            item,
+            label=item.label,
+            window_size=item.point.config.total_capacity,
         )
-    return points
+        for item in swept
+    ]
+    return frontier, profile
 
 
 def format_frontier(points: list[FrontierPoint]) -> str:
-    """Aligned text table of frontier points."""
-    lines = [
-        f"{'design':>20s}{'IPC':>8s}{'clock ps':>10s}{'GHz':>8s}{'BIPS':>8s}"
-    ]
+    """Aligned text table of frontier points.
+
+    Adds technology and clock-bound columns when the points carry
+    them (multi-technology sweeps).
+    """
+    show_tech = any(point.tech for point in points)
+    width = max([20] + [len(point.label) for point in points])
+    header = f"{'design':>{width}s}"
+    if show_tech:
+        header += f"{'tech':>8s}"
+    header += f"{'IPC':>8s}{'clock ps':>10s}{'GHz':>8s}{'BIPS':>8s}"
+    if show_tech:
+        header += f"  {'bounded by'}"
+    lines = [header]
     for point in points:
-        lines.append(
-            f"{point.label:>20s}{point.mean_ipc:8.3f}{point.clock_ps:10.1f}"
+        line = f"{point.label:>{width}s}"
+        if show_tech:
+            line += f"{point.tech:>8s}"
+        line += (
+            f"{point.mean_ipc:8.3f}{point.clock_ps:10.1f}"
             f"{point.frequency_ghz:8.2f}{point.bips:8.2f}"
         )
+        if show_tech and point.bounded_by:
+            line += f"  {point.bounded_by}"
+        lines.append(line)
     return "\n".join(lines)

@@ -28,10 +28,12 @@ Machine                                 Paper design point
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.uarch.config import ClusterConfig, MachineConfig, SteeringPolicy
 
 
-def baseline_8way(window_size: int = 64, **overrides) -> MachineConfig:
+def baseline_8way(window_size: int = 64, **overrides: Any) -> MachineConfig:
     """The conventional 8-way, 64-entry-window superscalar (Table 3).
 
     This is also Figure 17's "1-cluster, 1 window" ideal machine:
@@ -46,7 +48,7 @@ def baseline_8way(window_size: int = 64, **overrides) -> MachineConfig:
 
 
 def dependence_based_8way(
-    fifo_count: int = 8, fifo_depth: int = 8, **overrides
+    fifo_count: int = 8, fifo_depth: int = 8, **overrides: Any
 ) -> MachineConfig:
     """Figure 13's dependence-based machine: one cluster of FIFOs.
 
@@ -68,7 +70,7 @@ def clustered_dependence_8way(
     fifos_per_cluster: int = 4,
     fifo_depth: int = 8,
     inter_cluster_bypass_cycles: int = 2,
-    **overrides,
+    **overrides: Any,
 ) -> MachineConfig:
     """The 2 x 4-way clustered dependence-based machine (Section 5.4).
 
@@ -88,7 +90,7 @@ def clustered_dependence_8way(
 
 
 def clustered_windows_8way(
-    window_size: int = 32, inter_cluster_bypass_cycles: int = 2, **overrides
+    window_size: int = 32, inter_cluster_bypass_cycles: int = 2, **overrides: Any
 ) -> MachineConfig:
     """Two 32-entry windows with dispatch-driven steering (5.6.2).
 
@@ -106,7 +108,7 @@ def clustered_windows_8way(
 
 
 def clustered_exec_steer_8way(
-    inter_cluster_bypass_cycles: int = 2, **overrides
+    inter_cluster_bypass_cycles: int = 2, **overrides: Any
 ) -> MachineConfig:
     """Central 64-entry window, execution-driven steering (5.6.1).
 
@@ -124,7 +126,7 @@ def clustered_exec_steer_8way(
 
 
 def clustered_random_8way(
-    window_size: int = 32, inter_cluster_bypass_cycles: int = 2, **overrides
+    window_size: int = 32, inter_cluster_bypass_cycles: int = 2, **overrides: Any
 ) -> MachineConfig:
     """Two 32-entry windows with random steering (5.6.3 baseline)."""
     cluster = ClusterConfig(window_size=window_size, fu_count=4)
@@ -138,7 +140,7 @@ def clustered_random_8way(
 
 
 def clustered_modulo_8way(
-    window_size: int = 32, inter_cluster_bypass_cycles: int = 2, **overrides
+    window_size: int = 32, inter_cluster_bypass_cycles: int = 2, **overrides: Any
 ) -> MachineConfig:
     """Ablation: round-robin (modulo) steering over two windows.
 
@@ -156,7 +158,7 @@ def clustered_modulo_8way(
 
 
 def clustered_least_loaded_8way(
-    window_size: int = 32, inter_cluster_bypass_cycles: int = 2, **overrides
+    window_size: int = 32, inter_cluster_bypass_cycles: int = 2, **overrides: Any
 ) -> MachineConfig:
     """Ablation: emptiest-window steering over two windows."""
     cluster = ClusterConfig(window_size=window_size, fu_count=4)

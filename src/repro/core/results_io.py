@@ -16,10 +16,12 @@ from repro.uarch.stats import SimStats
 
 #: Format marker for forward compatibility.  Version 2 added the
 #: cycle-attribution fields (``active_cycles``/``stall_cycles``);
-#: version-1 files still load (the new fields default to zero).
-FORMAT_VERSION = 2
+#: version 3 added the design-point clock annotation (``clock_ps``,
+#: from which ``frequency_ghz``/``bips`` derive).  Older files still
+#: load (the new fields default to zero).
+FORMAT_VERSION = 3
 
-_READABLE_VERSIONS = (1, 2)
+_READABLE_VERSIONS = (1, 2, 3)
 
 
 def stats_to_dict(stats: SimStats) -> dict:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.aggregate import arithmetic_mean
 from repro.core.experiments import ExperimentResult, run_fig15
 from repro.delay.summary import clock_ratio_dependence_based
 from repro.technology.params import TECH_018, Technology
@@ -30,7 +31,7 @@ class SpeedupSummary:
     @property
     def mean(self) -> float:
         """Arithmetic-mean speedup across workloads."""
-        return sum(self.per_workload.values()) / len(self.per_workload)
+        return arithmetic_mean(self.per_workload.values())
 
     @property
     def min(self) -> float:

@@ -14,8 +14,11 @@ Models:
 * :class:`BypassDelayModel` -- operand bypass result wires.
 * :class:`ReservationTableDelayModel` -- the dependence-based design's
   reservation table (Section 5.3).
-* :mod:`repro.delay.summary` -- Table 2 aggregation, critical paths,
-  and the Section 5.5 clock-ratio computation.
+* :mod:`repro.delay.critical_path` -- the single config-derived
+  clock layer: a registry of structure builders and the
+  :class:`CriticalPath` every clock consumer routes through.
+* :mod:`repro.delay.summary` -- Table 2 aggregation and the Section
+  5.5 clock-ratio computation (a thin critical-path consumer).
 """
 
 from repro.delay.rename import RenameDelayModel
@@ -38,6 +41,19 @@ from repro.delay.pipelining import (
     pipelining_plan,
     stages_required,
 )
+# Note: the module name ``repro.delay.critical_path`` is itself part
+# of the API (``from repro.delay import critical_path as cp``), so the
+# builder function of the same name is deliberately not re-exported
+# here -- it would shadow the submodule attribute.
+from repro.delay.critical_path import (
+    DELAY_MODEL_REGISTRY,
+    CriticalPath,
+    StructureDelay,
+    clock_ps,
+    delay_model,
+    fifo_window_logic_ps,
+    window_logic_ps,
+)
 
 __all__ = [
     "RenameDelayModel",
@@ -56,4 +72,11 @@ __all__ = [
     "PipeliningPlan",
     "pipelining_plan",
     "stages_required",
+    "CriticalPath",
+    "StructureDelay",
+    "DELAY_MODEL_REGISTRY",
+    "delay_model",
+    "clock_ps",
+    "window_logic_ps",
+    "fifo_window_logic_ps",
 ]

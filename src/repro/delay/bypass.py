@@ -39,7 +39,7 @@ class BypassDelayModel:
         1056.4
     """
 
-    def __init__(self, tech: Technology, pipe_stages_after_result: int = 1):
+    def __init__(self, tech: Technology, pipe_stages_after_result: int = 1) -> None:
         self.tech = tech
         self.pipe_stages_after_result = pipe_stages_after_result
 

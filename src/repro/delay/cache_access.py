@@ -33,7 +33,7 @@ class CacheAccessDelayModel:
         True
     """
 
-    def __init__(self, tech: Technology):
+    def __init__(self, tech: Technology) -> None:
         self.tech = tech
         self._gates = GateLibrary(tech)
         self._coefficients = rename_coefficients(tech)

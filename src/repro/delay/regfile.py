@@ -40,7 +40,7 @@ class RegisterFileDelayModel:
         True
     """
 
-    def __init__(self, tech: Technology):
+    def __init__(self, tech: Technology) -> None:
         self.tech = tech
         self._coefficients = rename_coefficients(tech)
 

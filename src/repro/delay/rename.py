@@ -49,7 +49,7 @@ class RenameDelayModel:
         tech: Technology,
         logical_registers: int = 32,
         physical_registers: int = 120,
-    ):
+    ) -> None:
         self.tech = tech
         self.logical_registers = logical_registers
         self.physical_registers = physical_registers

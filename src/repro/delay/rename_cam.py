@@ -51,7 +51,7 @@ class CamRenameDelayModel:
     #: wire-quadratic term is damped by this factor.
     _QUADRATIC_DAMPING = 0.25
 
-    def __init__(self, tech: Technology):
+    def __init__(self, tech: Technology) -> None:
         self.tech = tech
         self._wakeup = wakeup_coefficients(tech)
         anchor_shape = self._shape(_ANCHOR_ISSUE_WIDTH, _ANCHOR_PHYSICAL_REGISTERS)

@@ -37,7 +37,7 @@ class ReservationTableDelayModel:
         192.1
     """
 
-    def __init__(self, tech: Technology):
+    def __init__(self, tech: Technology) -> None:
         self.tech = tech
         self._coefficients = reservation_coefficients()
 

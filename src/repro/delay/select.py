@@ -36,7 +36,7 @@ class SelectionDelayModel:
         True
     """
 
-    def __init__(self, tech: Technology):
+    def __init__(self, tech: Technology) -> None:
         self.tech = tech
         self._coefficients = selection_coefficients(tech)
 

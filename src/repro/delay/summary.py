@@ -9,17 +9,17 @@ reasons with:
   window-based microarchitectures; and
 * the Section 5.3 "up to 39%" clock improvement bound for a 4-way
   machine once window logic is no longer critical.
+
+All clock-bound arithmetic lives in
+:mod:`repro.delay.critical_path`; this module is a thin consumer that
+packages it into the paper's tabular quantities.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.delay.bypass import BypassDelayModel
-from repro.delay.rename import RenameDelayModel
-from repro.delay.reservation import ReservationTableDelayModel
-from repro.delay.select import SelectionDelayModel
-from repro.delay.wakeup import WakeupDelayModel
+from repro.delay import critical_path as cp
 from repro.technology.params import Technology
 
 
@@ -54,27 +54,21 @@ class DelaySummary:
 
 
 def overall_delays(tech: Technology, issue_width: int, window_size: int) -> DelaySummary:
-    """Compute one Table 2 row from the structure models."""
-    rename = RenameDelayModel(tech)
-    wakeup = WakeupDelayModel(tech)
-    select = SelectionDelayModel(tech)
-    bypass = BypassDelayModel(tech)
+    """Compute one Table 2 row via the critical-path layer."""
     return DelaySummary(
         tech=tech,
         issue_width=issue_width,
         window_size=window_size,
-        rename_ps=rename.total(issue_width),
-        wakeup_ps=wakeup.total(issue_width, window_size),
-        select_ps=select.total(window_size),
-        bypass_ps=bypass.total(issue_width),
+        rename_ps=cp.rename_ps(tech, issue_width),
+        wakeup_ps=cp.wakeup_ps(tech, issue_width, window_size),
+        select_ps=cp.select_ps(tech, window_size),
+        bypass_ps=cp.bypass_ps(tech, issue_width),
     )
 
 
 def window_logic_delay(tech: Technology, issue_width: int, window_size: int) -> float:
     """Wakeup + select delay for a design point, in picoseconds."""
-    wakeup = WakeupDelayModel(tech).total(issue_width, window_size)
-    select = SelectionDelayModel(tech).total(window_size)
-    return wakeup + select
+    return cp.window_logic_ps(tech, issue_width, window_size)
 
 
 def clock_ratio_dependence_based(
@@ -115,9 +109,9 @@ def dependence_based_window_logic(
     arbitrates among the FIFO heads, so its tree covers ``fifo_count``
     requesters rather than the whole window.
     """
-    wakeup = ReservationTableDelayModel(tech).total(issue_width, physical_registers)
-    select = SelectionDelayModel(tech).total(fifo_count)
-    return wakeup + select
+    return cp.fifo_window_logic_ps(
+        tech, issue_width, physical_registers, fifo_count
+    )
 
 
 def max_clock_improvement_4way(tech: Technology) -> float:
@@ -129,6 +123,6 @@ def max_clock_improvement_4way(tech: Technology) -> float:
     Returns:
         The fractional improvement (0.39 means 39%).
     """
-    window = window_logic_delay(tech, 4, 32)
-    rename = RenameDelayModel(tech).total(4)
+    window = cp.window_logic_ps(tech, 4, 32)
+    rename = cp.rename_ps(tech, 4)
     return 1.0 - rename / window

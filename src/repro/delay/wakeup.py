@@ -41,7 +41,7 @@ class WakeupDelayModel:
         True
     """
 
-    def __init__(self, tech: Technology, physical_registers: int = 120):
+    def __init__(self, tech: Technology, physical_registers: int = 120) -> None:
         self.tech = tech
         self.physical_registers = physical_registers
         self._coefficients = wakeup_coefficients(tech)

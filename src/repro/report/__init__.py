@@ -5,7 +5,18 @@ package renders the same comparisons as aligned text so experiment
 results read like the figures without a plotting dependency.
 """
 
-from repro.report.figures import bar_chart, grouped_bar_chart, text_table
+from repro.report.figures import (
+    bar_chart,
+    frontier_chart,
+    grouped_bar_chart,
+    text_table,
+)
 from repro.report.timeline import render_timeline
 
-__all__ = ["bar_chart", "grouped_bar_chart", "text_table", "render_timeline"]
+__all__ = [
+    "bar_chart",
+    "frontier_chart",
+    "grouped_bar_chart",
+    "text_table",
+    "render_timeline",
+]

@@ -67,6 +67,28 @@ def bar_chart(
     return "\n".join(lines)
 
 
+def frontier_chart(points, width: int = 40) -> str:
+    """Render a BIPS frontier as grouped bars, one group per
+    technology node.
+
+    Args:
+        points: Frontier points (anything with ``label``, ``tech``,
+            and ``bips`` attributes, e.g.
+            :class:`~repro.core.frontier.FrontierPoint`); points
+            without a technology label fall into one ``design`` group.
+
+    Raises:
+        ValueError: for empty input or technology groups holding
+            different design sets.
+    """
+    series: dict[str, dict[str, float]] = {}
+    for point in points:
+        tech = point.tech or "design"
+        label = point.label.split("@", 1)[0]
+        series.setdefault(tech, {})[label] = point.bips
+    return grouped_bar_chart(series, width=width, unit=" BIPS")
+
+
 def grouped_bar_chart(
     series: dict[str, dict[str, float]], width: int = 40, unit: str = ""
 ) -> str:

@@ -102,10 +102,18 @@ class ClusterConfig:
     clustered machines of Figures 15/17 use two 4-unit clusters.
     """
 
+    #: Buffer capacity of a window cluster.  For a FIFO cluster the
+    #: capacity is ``fifo_count * fifo_depth`` and this field is
+    #: normalised to that product (leaving it at the class default is
+    #: fine; an explicit inconsistent value is rejected), so the
+    #: geometry is single-valued for every consumer -- the simulator,
+    #: the delay models, and the campaign cache fingerprint.
     window_size: int = 64
     fifo_count: int = 0
     fifo_depth: int = 8
     fu_count: int = 8
+
+    _DEFAULT_WINDOW_SIZE = 64
 
     def __post_init__(self) -> None:
         if self.fifo_count < 0:
@@ -116,6 +124,15 @@ class ClusterConfig:
             raise ValueError("fifo_depth must be >= 1 for a FIFO cluster")
         if self.fu_count < 1:
             raise ValueError("fu_count must be >= 1")
+        if self.fifo_count > 0:
+            capacity = self.fifo_count * self.fifo_depth
+            if self.window_size not in (self._DEFAULT_WINDOW_SIZE, capacity):
+                raise ValueError(
+                    f"window_size ({self.window_size}) is inconsistent with "
+                    f"the FIFO geometry: a {self.fifo_count}x{self.fifo_depth} "
+                    f"cluster holds {capacity} instructions"
+                )
+            object.__setattr__(self, "window_size", capacity)
 
     @property
     def uses_fifos(self) -> bool:
@@ -196,6 +213,13 @@ class MachineConfig:
         if self.steering is SteeringPolicy.EXEC_DRIVEN and len(self.clusters) != 2:
             raise ValueError("EXEC_DRIVEN steering models a central window "
                              "feeding exactly two clusters")
+        if self.max_in_flight < self.total_capacity:
+            raise ValueError(
+                f"max_in_flight ({self.max_in_flight}) is smaller than the "
+                f"total window/FIFO capacity ({self.total_capacity}): the "
+                f"issue buffers could never fill, so the configured geometry "
+                f"is unreachable"
+            )
 
     @property
     def extra_bypass_latency(self) -> int:
@@ -211,3 +235,30 @@ class MachineConfig:
     def total_capacity(self) -> int:
         """Window/FIFO slots across all clusters."""
         return sum(c.capacity for c in self.clusters)
+
+    # ------------------------------------------------------------------
+    # derived geometry (consumed by the delay layer)
+    # ------------------------------------------------------------------
+
+    @property
+    def cluster_issue_widths(self) -> tuple[int, ...]:
+        """Effective issue width per cluster.
+
+        A cluster can issue at most its functional-unit count per
+        cycle, and never more than the machine's issue width; the
+        delay models size each cluster's wakeup/select and register
+        ports from this, not from a re-typed number.
+        """
+        return tuple(
+            min(self.issue_width, c.fu_count) for c in self.clusters
+        )
+
+    @property
+    def reservation_tag_count(self) -> int:
+        """Result-tag space of the dependence-based reservation table.
+
+        The reservation table keeps one ready bit per in-flight
+        destination (Section 5.3), so its size is the machine's
+        in-flight limit -- 128 for the paper's Table 4 organisation.
+        """
+        return self.max_in_flight

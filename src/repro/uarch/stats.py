@@ -96,6 +96,12 @@ class SimStats:
     #: Cycle-exact attribution: every non-active cycle charged to one
     #: cause; ``active_cycles + sum(stall_cycles) == cycles``.
     stall_cycles: dict[StallCause, int] = field(default_factory=dict)
+    #: Clock period in picoseconds, annotated after simulation by the
+    #: design layer (:meth:`repro.core.design.DesignPoint.annotate`)
+    #: from the machine's critical path at a chosen technology; 0.0
+    #: until annotated.  Not a counter: merging requires agreement
+    #: rather than summing.
+    clock_ps: float = 0.0
 
     @property
     def ipc(self) -> float:
@@ -132,6 +138,21 @@ class SimStats:
         if self.committed == 0:
             return 0.0
         return self.inter_cluster_bypasses / self.committed
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Clock frequency implied by :attr:`clock_ps` (0.0 when the
+        run has not been clock-annotated)."""
+        if self.clock_ps == 0.0:
+            return 0.0
+        return 1000.0 / self.clock_ps
+
+    @property
+    def bips(self) -> float:
+        """Billions of instructions per second: IPC x frequency (the
+        paper's joint complexity-effectiveness metric; 0.0 when the
+        run has not been clock-annotated)."""
+        return self.ipc * self.frequency_ghz
 
     # ------------------------------------------------------------------
     # recording hooks (called by the pipeline)
@@ -226,12 +247,19 @@ class SimStats:
         aggregation the paper's harmonic-mean tables need underneath.
 
         Raises:
-            ValueError: if the machine labels differ.
+            ValueError: if the machine labels or (nonzero) clock
+                annotations differ.
         """
         if self.machine and other.machine and self.machine != other.machine:
             raise ValueError(
                 f"refusing to merge stats from different machines: "
                 f"{self.machine!r} vs {other.machine!r}"
+            )
+        if (self.clock_ps and other.clock_ps
+                and self.clock_ps != other.clock_ps):
+            raise ValueError(
+                f"refusing to merge stats with different clock "
+                f"annotations: {self.clock_ps} ps vs {other.clock_ps} ps"
             )
         merged = SimStats(
             machine=self.machine or other.machine,
@@ -246,6 +274,7 @@ class SimStats:
             for key, value in getattr(other, mapping_name).items():
                 combined[key] = combined.get(key, 0) + value
             setattr(merged, mapping_name, combined)
+        merged.clock_ps = self.clock_ps or other.clock_ps
         return merged
 
     def to_dict(self) -> dict:
@@ -263,6 +292,7 @@ class SimStats:
         payload["stall_cycles"] = {
             cause.value: count for cause, count in self.stall_cycles.items()
         }
+        payload["clock_ps"] = self.clock_ps
         return payload
 
     @classmethod
@@ -289,6 +319,7 @@ class SimStats:
             StallCause(cause): count
             for cause, count in payload.get("stall_cycles", {}).items()
         }
+        stats.clock_ps = float(payload.get("clock_ps", 0.0))
         return stats
 
     # ------------------------------------------------------------------

@@ -83,6 +83,13 @@ def sample_machine(
     kwargs["wakeup_select_stages"] = rng.choice((1, 2))
     kwargs["selection"] = rng.choice(tuple(SelectionPolicy))
     kwargs["steering_seed"] = rng.randrange(1, 1 << 16)
+    # An in-flight limit below the buffer capacity is rejected by
+    # MachineConfig (the buffers could never fill); probe the drawn
+    # geometry and clamp the limit up without consuming extra entropy.
+    probe_kwargs = dict(kwargs)
+    del probe_kwargs["max_in_flight"]
+    probe = MACHINE_REGISTRY[shape](**probe_kwargs)
+    kwargs["max_in_flight"] = max(kwargs["max_in_flight"], probe.total_capacity)
     return shape, MACHINE_REGISTRY[shape](**kwargs)
 
 

@@ -179,6 +179,25 @@ class TestCacheKey:
         assert fingerprint["steering"] == "none"
         assert fingerprint["clusters"][0]["window_size"] == 64
 
+    def test_current_format_version_is_3(self):
+        # The clock/BIPS fields bumped the stats format; the key
+        # embeds it, so pre-bump cache entries can never be served.
+        assert results_io.FORMAT_VERSION == 3
+        assert cache_key(baseline_8way(), "li", N, stats_format=2) != cache_key(
+            baseline_8way(), "li", N
+        )
+
+    def test_fifo_geometry_is_single_valued_in_the_fingerprint(self):
+        # ClusterConfig normalises window_size to the FIFO capacity,
+        # so two spellings of the same geometry share a cache cell.
+        from repro.core.machines import dependence_based_8way
+
+        a = config_fingerprint(dependence_based_8way(fifo_count=4))
+        assert a["clusters"][0]["window_size"] == 32
+        assert cache_key(
+            dependence_based_8way(fifo_count=4), "li", N
+        ) == cache_key(dependence_based_8way(fifo_count=4), "li", N)
+
 
 class TestResultCache:
     """Satellite: corrupted entries are discarded, never trusted."""

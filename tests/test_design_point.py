@@ -1,0 +1,168 @@
+"""DesignPoint: the (MachineConfig x Technology) campaign sweep unit."""
+
+import pytest
+
+from repro.core.aggregate import arithmetic_mean, geometric_mean, mean_ipc
+from repro.core.campaign import CampaignCell, ResultCache
+from repro.core.design import (
+    DesignPoint,
+    design_points,
+    sweep_design_points,
+)
+from repro.core.frontier import design_space_frontier
+from repro.core.machines import MACHINE_REGISTRY, machine_registry
+from repro.technology import TECH_018, TECH_035, TECHNOLOGIES
+from repro.uarch.stats import SimStats
+
+WORKLOADS = ("compress", "li")
+
+
+class TestDesignPoint:
+    @pytest.fixture(scope="class")
+    def point(self):
+        return DesignPoint(config=MACHINE_REGISTRY["baseline"](), tech=TECH_018)
+
+    def test_label_joins_config_and_tech(self, point):
+        assert point.label == "baseline-8way-64w@0.18um"
+
+    def test_clock_comes_from_the_critical_path_layer(self, point):
+        assert point.clock_ps == pytest.approx(724.0, abs=0.05)
+        assert point.frequency_ghz == pytest.approx(1000.0 / 724.0, abs=1e-4)
+        assert point.bounding_structure == "cluster0 wakeup+select (8-way/64)"
+
+    def test_bips_is_ipc_times_frequency(self, point):
+        assert point.bips(2.0) == pytest.approx(2.0 * point.frequency_ghz)
+
+    def test_is_frozen_and_hashable(self, point):
+        with pytest.raises(AttributeError):
+            point.tech = TECH_035
+        assert point in {point}
+
+    def test_annotate_copies_and_leaves_input_untouched(self, point):
+        stats = SimStats(committed=100, cycles=50)
+        annotated = point.annotate(stats)
+        assert annotated.clock_ps == pytest.approx(point.clock_ps)
+        assert annotated.ipc == stats.ipc
+        assert stats.clock_ps == 0.0
+        assert annotated.bips == pytest.approx(
+            annotated.ipc * annotated.frequency_ghz
+        )
+
+    def test_design_points_cross_product(self):
+        grid = design_points(machine_registry(), techs=TECHNOLOGIES)
+        assert len(grid) == 3 * len(MACHINE_REGISTRY)
+        labels = [label for label, _ in grid]
+        assert len(set(labels)) == len(labels)
+        assert "baseline@0.18um" in labels
+
+
+class TestSweep:
+    def test_distinct_configs_simulated_once(self):
+        config = MACHINE_REGISTRY["baseline"]()
+        points = [
+            (f"b@{tech.name}", DesignPoint(config=config, tech=tech))
+            for tech in TECHNOLOGIES
+        ]
+        swept, profile = sweep_design_points(
+            points, workloads=WORKLOADS, max_instructions=1_000
+        )
+        # One config, three technologies: one simulation per workload.
+        assert profile.cell_count == len(WORKLOADS)
+        assert len(swept) == 3
+        ipcs = {item.mean_ipc for item in swept}
+        assert len(ipcs) == 1  # IPC is technology-independent
+        clocks = [item.clock_ps for item in swept]
+        assert clocks == sorted(clocks, reverse=True)  # smaller is faster
+
+    def test_swept_design_carries_annotated_stats(self):
+        config = MACHINE_REGISTRY["dependence"]()
+        points = [("d", DesignPoint(config=config, tech=TECH_018))]
+        swept, _ = sweep_design_points(
+            points, workloads=WORKLOADS, max_instructions=1_000
+        )
+        item = swept[0]
+        assert set(item.stats) == set(WORKLOADS)
+        for stats in item.stats.values():
+            assert stats.clock_ps == pytest.approx(item.clock_ps)
+        assert item.mean_ipc == pytest.approx(mean_ipc(item.stats))
+        assert item.bips == pytest.approx(
+            item.mean_ipc * 1000.0 / item.clock_ps
+        )
+
+    def test_warm_cache_sweep_runs_zero_simulations(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        machines = machine_registry()
+        _, cold = design_space_frontier(
+            machines=machines,
+            workloads=WORKLOADS,
+            max_instructions=1_000,
+            cache=cache,
+        )
+        assert cold.simulated_cells > 0
+
+        def forbidden(cell: CampaignCell) -> dict:
+            raise AssertionError(f"warm sweep simulated {cell.key()}")
+
+        warm_points, warm = design_space_frontier(
+            machines=machines,
+            workloads=WORKLOADS,
+            max_instructions=1_000,
+            cache=cache,
+            runner=forbidden,
+        )
+        assert warm.simulated_cells == 0
+        assert warm.cache_hits == cold.cell_count
+        assert len(warm_points) == 3 * len(machines)
+
+    def test_frontier_points_byte_identical_cold_vs_warm(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        kwargs = dict(workloads=WORKLOADS, max_instructions=1_000, cache=cache)
+        cold_points, _ = design_space_frontier(**kwargs)
+        warm_points, _ = design_space_frontier(**kwargs)
+        assert cold_points == warm_points
+
+
+class TestAggregate:
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+
+    def test_mean_ipc_over_workloads(self):
+        stats = {
+            "a": SimStats(committed=200, cycles=100),  # IPC 2.0
+            "b": SimStats(committed=800, cycles=100),  # IPC 8.0
+        }
+        assert mean_ipc(stats) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            mean_ipc({})
+
+
+class TestStatsClockField:
+    def test_merge_requires_agreement(self):
+        a = SimStats(committed=10, cycles=10)
+        b = SimStats(committed=10, cycles=10)
+        a.clock_ps = 724.0
+        b.clock_ps = 578.0
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_propagates_the_nonzero_clock(self):
+        a = SimStats(committed=10, cycles=10)
+        b = SimStats(committed=10, cycles=10)
+        b.clock_ps = 724.0
+        merged = a.merge(b)
+        assert merged.clock_ps == pytest.approx(724.0)
+        # The counter fields still sum -- clock_ps must not.
+        assert merged.committed == 20
+
+    def test_zero_clock_has_zero_frequency_and_bips(self):
+        stats = SimStats(committed=10, cycles=10)
+        assert stats.frequency_ghz == 0.0
+        assert stats.bips == 0.0

@@ -152,6 +152,59 @@ class TestPerformanceDoc:
         assert "observability.md" in performance_doc
 
 
+class TestDesignSpaceDoc:
+    @pytest.fixture(scope="class")
+    def design_space_doc(self):
+        return (DOCS / "design_space.md").read_text(encoding="utf-8")
+
+    def test_every_registered_structure_documented(self, design_space_doc):
+        from repro.delay.critical_path import DELAY_MODEL_REGISTRY  # noqa: PLC0415
+
+        for structure in DELAY_MODEL_REGISTRY:
+            assert f"`{structure}`" in design_space_doc, (
+                f"registry structure {structure!r} missing from "
+                "docs/design_space.md"
+            )
+
+    def test_referenced_files_exist(self, design_space_doc):
+        """Every tests/, benchmarks/, or repro/ path the doc names must exist."""
+        for line in design_space_doc.splitlines():
+            for token in line.split("`"):
+                if token.startswith(("tests/", "benchmarks/", "repro/")) \
+                        and "<" not in token:
+                    candidates = [ROOT / token, ROOT / "src" / token]
+                    assert any(c.exists() for c in candidates), (
+                        f"{token} referenced in docs/design_space.md but missing"
+                    )
+
+    def test_cli_flags_are_real(self, design_space_doc):
+        from repro.cli import build_parser  # noqa: PLC0415
+
+        parser = build_parser()
+        frontier_args = parser.parse_args(["frontier", "--tech", "all"])
+        for flag in ("--tech", "--jobs", "--cache-dir", "--no-cache",
+                     "--metrics"):
+            assert flag in design_space_doc
+            attr = flag.lstrip("-").replace("-", "_")
+            assert hasattr(frontier_args, attr), f"{flag} not a frontier flag"
+        delay_args = parser.parse_args(["delay", "--machine", "clustered-fifos"])
+        assert "--machine" in design_space_doc
+        assert delay_args.machine == "clustered-fifos"
+
+    def test_documented_geometry_properties_exist(self, design_space_doc):
+        from repro.uarch.config import MachineConfig  # noqa: PLC0415
+
+        for prop in ("cluster_issue_widths", "reservation_tag_count"):
+            assert prop in design_space_doc
+            assert hasattr(MachineConfig, prop)
+
+    def test_cross_links(self, design_space_doc, architecture_doc, readme):
+        assert "architecture.md" in design_space_doc
+        assert "testing.md" in design_space_doc
+        assert "design_space.md" in architecture_doc
+        assert "docs/design_space.md" in readme
+
+
 class TestTestingDoc:
     @pytest.fixture(scope="class")
     def testing_doc(self):

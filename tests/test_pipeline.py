@@ -355,7 +355,9 @@ class TestResourceLimits:
             )
 
     def test_small_in_flight_limit(self):
-        config = baseline_8way(max_in_flight=8)
+        # The in-flight limit must cover the window capacity, so a
+        # tiny limit needs a matching tiny window.
+        config = baseline_8way(window_size=8, max_in_flight=8)
         stats = simulate(config, independent_trace(300))
         full = baseline_8way()
         assert stats.ipc < simulate(full, independent_trace(300)).ipc

@@ -162,7 +162,11 @@ def machine_configs(draw):
         dispatch_width=draw(st.sampled_from([2, 4, 8])),
         issue_width=draw(st.sampled_from([1, 4, 8])),
         retire_width=draw(st.sampled_from([2, 16])),
-        max_in_flight=draw(st.sampled_from([16, 128])),
+        # The limit must cover the buffers (they could never fill
+        # otherwise, and MachineConfig rejects that).
+        max_in_flight=max(
+            draw(st.sampled_from([16, 128])), n_clusters * cluster.capacity
+        ),
         wakeup_select_stages=draw(st.sampled_from([1, 2])),
         inter_cluster_bypass_cycles=draw(st.sampled_from([1, 2, 3])),
         selection=draw(st.sampled_from(list(SelectionPolicy))),

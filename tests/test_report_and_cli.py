@@ -61,6 +61,22 @@ class TestBarCharts:
         with pytest.raises(ValueError, match="same bars"):
             grouped_bar_chart({"a": {"x": 1.0}, "b": {"y": 1.0}})
 
+    def test_frontier_chart_groups_by_technology(self):
+        from repro.core.frontier import FrontierPoint
+        from repro.report import frontier_chart
+
+        points = [
+            FrontierPoint(label="baseline@0.18um", window_size=64,
+                          mean_ipc=2.0, clock_ps=724.0, tech="0.18um"),
+            FrontierPoint(label="baseline@0.35um", window_size=64,
+                          mean_ipc=2.0, clock_ps=1484.7, tech="0.35um"),
+        ]
+        chart = frontier_chart(points)
+        assert "0.18um:" in chart
+        assert "0.35um:" in chart
+        assert "BIPS" in chart
+        assert chart.count("baseline") == 2
+
 
 class TestCli:
     def test_parser_builds(self):
@@ -154,10 +170,42 @@ class TestCli:
         assert "IPC=" in out
 
     def test_frontier_command(self, capsys):
-        assert main(["frontier", "-n", "800"]) == 0
+        assert main(["frontier", "-n", "800", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "BIPS" in out
         assert "dependence" in out
+        assert "0.18um" in out
+        assert "724.0" in out  # baseline clock from the delay layer
+
+    def test_frontier_all_techs_with_cache_and_metrics(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "frontier.json"
+        args = ["frontier", "-n", "500", "--tech", "all",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--metrics", str(metrics)]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        for tech in ("0.8um", "0.35um", "0.18um"):
+            assert tech in out
+        cold = json.loads(metrics.read_text())
+        assert cold["simulated_cells"] > 0
+        # Second run: all cells cached, zero simulations.
+        assert main(args) == 0
+        warm = json.loads(metrics.read_text())
+        assert warm["simulated_cells"] == 0
+        assert warm["cache_hits"] == cold["cell_count"]
+
+    def test_delay_machine_breakdown(self, capsys):
+        assert main(["delay", "--tech", "0.18",
+                     "--machine", "clustered-fifos"]) == 0
+        out = capsys.readouterr().out
+        assert "clock bound" in out
+        assert "critical path" in out
+        assert "rename" in out
+        assert "FIFO heads" in out
+        # Default Table 2 output is untouched by the new flag.
+        assert "reservation table" not in out
 
     def test_compile_command(self, tmp_path, capsys):
         source = tmp_path / "prog.mini"

@@ -45,6 +45,24 @@ class TestStatsRoundtrip:
         clone = stats_from_dict(stats_to_dict(stats))
         assert list(clone.issue_histogram) == [7]
 
+    def test_clock_annotation_round_trips_byte_identically(self):
+        stats = SimStats(machine="m", workload="w", committed=10, cycles=5)
+        stats.clock_ps = 724.0
+        payload = stats_to_dict(stats)
+        clone = stats_from_dict(payload)
+        assert clone.clock_ps == 724.0
+        assert clone.frequency_ghz == pytest.approx(1000.0 / 724.0)
+        assert clone.bips == pytest.approx(clone.ipc * clone.frequency_ghz)
+        assert json.dumps(payload, sort_keys=True) == json.dumps(
+            stats_to_dict(clone), sort_keys=True
+        )
+
+    def test_version1_payload_defaults_clock_to_zero(self):
+        stats = SimStats(committed=10, cycles=5)
+        payload = stats_to_dict(stats)
+        del payload["clock_ps"]
+        assert stats_from_dict(payload).clock_ps == 0.0
+
 
 class TestResultRoundtrip:
     def test_file_roundtrip(self, small_result, tmp_path):
@@ -84,6 +102,16 @@ class TestResultRoundtrip:
 
     def test_format_version_recorded(self, small_result):
         assert result_to_dict(small_result)["format_version"] == FORMAT_VERSION
+
+    def test_clock_fields_bumped_the_format_version(self):
+        # Version 3 added clock_ps; older readers must not misread the
+        # new payloads as their own format.
+        assert FORMAT_VERSION == 3
+
+    def test_older_versions_still_load(self, small_result):
+        payload = result_to_dict(small_result)
+        payload["format_version"] = 2
+        assert result_from_dict(payload).name == small_result.name
 
     def test_payload_is_plain_json(self, small_result):
         json.dumps(result_to_dict(small_result))  # must not raise

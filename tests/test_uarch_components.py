@@ -402,3 +402,64 @@ class TestMachineConfigValidation:
         assert config.extra_bypass_latency == 1
         assert config.total_fu_count == 8
         assert config.total_capacity == 128
+
+
+class TestGeometryValidation:
+    """Cross-field geometry checks: the fuzzer's sampler (and every
+    other caller) must be unable to build an impossible machine."""
+
+    def test_fifo_cluster_normalises_default_window_size(self):
+        cluster = ClusterConfig(fifo_count=4, fifo_depth=8)
+        assert cluster.window_size == 32  # single-valued geometry
+        assert cluster.capacity == 32
+
+    def test_fifo_cluster_accepts_explicit_consistent_window_size(self):
+        cluster = ClusterConfig(fifo_count=4, fifo_depth=8, window_size=32)
+        assert cluster.window_size == 32
+
+    def test_fifo_cluster_rejects_inconsistent_window_size(self):
+        with pytest.raises(ValueError, match="inconsistent with the FIFO"):
+            ClusterConfig(fifo_count=4, fifo_depth=8, window_size=48)
+
+    def test_fifo_geometry_error_names_the_numbers(self):
+        with pytest.raises(ValueError, match=r"4x8 cluster holds 32"):
+            ClusterConfig(fifo_count=4, fifo_depth=8, window_size=100)
+
+    def test_in_flight_limit_must_cover_window_capacity(self):
+        with pytest.raises(ValueError, match="could never fill"):
+            MachineConfig(max_in_flight=32)  # default window is 64
+
+    def test_in_flight_limit_must_cover_total_fifo_capacity(self):
+        with pytest.raises(ValueError, match="could never fill"):
+            MachineConfig(
+                clusters=(ClusterConfig(fifo_count=4, fifo_depth=8),) * 2,
+                steering=SteeringPolicy.FIFO_DISPATCH,
+                max_in_flight=32,  # two 4x8 clusters hold 64
+            )
+
+    def test_in_flight_limit_equal_to_capacity_is_allowed(self):
+        config = MachineConfig(max_in_flight=64)
+        assert config.max_in_flight == config.total_capacity == 64
+
+    def test_cluster_issue_widths_derived_from_fu_count(self):
+        config = MachineConfig(
+            issue_width=8,
+            clusters=(ClusterConfig(fu_count=4), ClusterConfig(fu_count=4)),
+            steering=SteeringPolicy.RANDOM,
+        )
+        assert config.cluster_issue_widths == (4, 4)
+        assert MachineConfig().cluster_issue_widths == (8,)
+
+    def test_reservation_tag_count_is_the_in_flight_limit(self):
+        assert MachineConfig().reservation_tag_count == 128
+        assert MachineConfig(max_in_flight=64).reservation_tag_count == 64
+
+    def test_sampler_cannot_build_impossible_machines(self):
+        import random
+
+        from repro.verify.sampler import sample_machine
+
+        rng = random.Random(7)
+        for _ in range(200):
+            _shape, config = sample_machine(rng)
+            assert config.max_in_flight >= config.total_capacity

@@ -58,8 +58,10 @@ def test_ddmin_keeps_everything_when_all_lines_needed():
 
 
 def test_shrink_config_moves_toward_baseline():
+    # An 8-entry window lets max_in_flight shrink all the way to 8
+    # (the in-flight limit must cover the buffer capacity).
     config = MACHINE_REGISTRY["baseline"](
-        fetch_width=8, issue_width=8, max_in_flight=128
+        window_size=8, fetch_width=8, issue_width=8, max_in_flight=128
     )
     always = lambda text, candidate: True  # noqa: E731
     small = shrink_config(SOURCE, config, always)
