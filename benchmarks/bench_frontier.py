@@ -15,7 +15,6 @@ checked-in ``recorded`` numbers -- the ``BENCH_simulator.json``
 pattern applied to the campaign cache.
 """
 
-import json
 import os
 import time
 
@@ -45,17 +44,14 @@ MIN_WARM_SPEEDUP = 2.0
 
 
 def _record_sweep(measured: dict) -> None:
-    """Fold this run's measurements into ``BENCH_frontier.json``."""
-    payload = {"kind": "repro-frontier-bench"}
-    try:
-        with open(BENCH_FRONTIER_PATH, encoding="utf-8") as handle:
-            payload = json.load(handle)
-    except (OSError, ValueError):
-        pass  # keep the fresh payload; the recorded block is optional
-    payload["measured"] = measured
-    with open(BENCH_FRONTIER_PATH, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=1, sort_keys=True)
-        handle.write("\n")
+    """Fold this run's measurements into ``BENCH_frontier.json``.
+
+    Delegated to :func:`repro.obs.ledger.record_bench` -- the single,
+    schema-stamped, atomic path every BENCH_*.json write goes through.
+    """
+    from repro.obs.ledger import record_bench
+
+    record_bench(BENCH_FRONTIER_PATH, "repro-frontier-bench", measured)
 
 
 def build_frontier():

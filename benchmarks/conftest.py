@@ -96,16 +96,12 @@ def sim_bench_record():
 def _write_sim_bench(terminalreporter) -> None:
     if not _SIM_RATES:
         return
-    payload = {"kind": "repro-simulator-bench"}
-    try:
-        with open(BENCH_SIMULATOR_PATH, encoding="utf-8") as handle:
-            payload = json.load(handle)
-    except (OSError, ValueError):
-        pass  # keep the fresh payload; the recorded block is optional
-    payload["measured"] = dict(sorted(_SIM_RATES.items()))
-    with open(BENCH_SIMULATOR_PATH, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=1, sort_keys=True)
-        handle.write("\n")
+    # Single-sourced bench recording: every BENCH_*.json write in the
+    # repo goes through record_bench (schema-stamped, atomic).
+    from repro.obs.ledger import record_bench
+
+    record_bench(BENCH_SIMULATOR_PATH, "repro-simulator-bench",
+                 dict(sorted(_SIM_RATES.items())))
     terminalreporter.write_line(
         f"wrote {len(_SIM_RATES)} simulator rates to {BENCH_SIMULATOR_PATH}"
     )

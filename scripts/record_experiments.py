@@ -13,6 +13,7 @@ Usage:
 from __future__ import annotations
 
 import argparse
+import time
 from pathlib import Path
 
 from repro.core.experiments import (
@@ -48,11 +49,13 @@ def main() -> int:
     ]
 
     print(f"running figure campaigns at {args.instructions} instructions...")
+    started = time.perf_counter()
     campaigns = {
         "fig13": run_fig13(max_instructions=args.instructions, jobs=args.jobs),
         "fig15": run_fig15(max_instructions=args.instructions, jobs=args.jobs),
         "fig17": run_fig17(max_instructions=args.instructions, jobs=args.jobs),
     }
+    campaign_seconds = time.perf_counter() - started
     for name, result in campaigns.items():
         save_result(result, output / f"{name}.json")
         sections.append(f"## {name}")
@@ -88,6 +91,23 @@ def main() -> int:
     summary = output / "summary.md"
     summary.write_text("\n".join(sections) + "\n", encoding="utf-8")
     print(f"wrote {summary}")
+
+    # The archived campaign's timings go through the same
+    # schema-stamped bench writer every other harness uses.
+    from repro.obs.ledger import record_bench
+
+    bench_path = output / "BENCH_experiments.json"
+    record_bench(
+        bench_path,
+        "repro-experiments-bench",
+        {
+            "instructions": args.instructions,
+            "jobs": args.jobs,
+            "figures": sorted(campaigns),
+            "campaign_seconds": round(campaign_seconds, 3),
+        },
+    )
+    print(f"wrote {bench_path}")
     return 0
 
 

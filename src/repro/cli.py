@@ -22,6 +22,16 @@ Commands:
   programs cross-checked against the architectural oracle and the
   reference pipeline (``--selftest`` plants a steering bug to prove
   the harness works).
+* ``ledger``     -- inspect the run ledger: the append-only JSONL
+  history every simulate/campaign/frontier/fuzz invocation appends to
+  (list/show/diff/gc).
+* ``bench``      -- the perf-regression gate: current measurements vs
+  the committed ``BENCH_*.json`` floors and the ledger's trailing
+  window (``--check`` exits nonzero on regression).
+
+``campaign``/``frontier``/``fuzz`` accept ``--progress`` for a live
+single-line telemetry readout (cells done, hit rate, inst/s, ETA) fed
+by per-cell heartbeats from the engine.
 """
 
 from __future__ import annotations
@@ -56,6 +66,39 @@ MACHINES = {
     "modulo-steer": machines.clustered_modulo_8way,
     "least-loaded-steer": machines.clustered_least_loaded_8way,
 }
+
+
+def _progress_meter(enabled: bool, total: int | None, unit: str):
+    """A live ProgressMeter on stderr, or None when not requested."""
+    if not enabled:
+        return None
+    from repro.obs.progress import ProgressMeter
+
+    return ProgressMeter(total=total, stream=sys.stderr, unit=unit)
+
+
+def _record_ledger(kind: str, *, profile=None, config_hash: str = "",
+                   extra: dict | None = None, **scalars) -> None:
+    """Append this invocation to the run ledger.
+
+    The ledger is advisory history: a failure to record (read-only
+    checkout, weird filesystem) is reported on stderr but never fails
+    the run that produced the real results.
+    """
+    from repro.obs import ledger as ledger_mod
+
+    try:
+        if profile is not None:
+            entry = ledger_mod.record_profile(
+                kind, profile, config_hash=config_hash, extra=extra
+            )
+        else:
+            entry = ledger_mod.record_run(
+                kind, config_hash=config_hash, extra=extra, **scalars
+            )
+        print(f"  ledger: recorded {kind} run {entry.run_id[:12]}")
+    except Exception as error:  # pragma: no cover - environment-specific
+        print(f"  ledger: not recorded ({error})", file=sys.stderr)
 
 
 def _cmd_delay(args) -> int:
@@ -121,10 +164,30 @@ def _cmd_workloads(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    import time
+
+    from repro.core.campaign import cache_key
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.profiling import record_simulation_metrics
+
     config = MACHINES[args.machine]()
     trace = get_trace(args.workload, args.instructions)
+    start = time.perf_counter()
     stats = run_simulation(config, trace)
+    seconds = time.perf_counter() - start
     print(stats.summary())
+    registry = MetricsRegistry()
+    record_simulation_metrics(registry, stats, seconds,
+                              machine=config.name, workload=args.workload)
+    _record_ledger(
+        "simulate",
+        wall_seconds=seconds,
+        instructions_per_second=(stats.committed / seconds
+                                 if seconds > 0 else 0.0),
+        config_hash=cache_key(config, args.workload, args.instructions),
+        snapshot=registry.snapshot(),
+        extra={"machine": args.machine, "workload": args.workload},
+    )
     if args.verbose:
         print(f"  fetched {stats.fetched}, mispredicts {stats.mispredicts}, "
               f"store forwards {stats.store_forwards}")
@@ -149,9 +212,13 @@ def _get_any_trace(workload: str, instructions: int):
 
 
 def _cmd_stats(args) -> int:
+    import time
+
     config = MACHINES[args.machine]()
     trace = _get_any_trace(args.workload, args.instructions)
+    start = time.perf_counter()
     stats = run_simulation(config, trace)
+    seconds = time.perf_counter() - start
     stats.validate()
     print(stats.summary())
     if args.breakdown:
@@ -163,6 +230,17 @@ def _cmd_stats(args) -> int:
         print(text_table(["cause", "cycles", "share"], rows))
         attributed = stats.active_cycles + sum(stats.stall_cycles.values())
         print(f"  attributed {attributed} of {stats.cycles} cycles")
+        # The same registry + formatting the campaign reports use, so
+        # a single run and a thousand-cell campaign read identically.
+        from repro.obs.metrics import MetricsRegistry, format_snapshot
+        from repro.obs.profiling import record_simulation_metrics
+
+        registry = MetricsRegistry()
+        record_simulation_metrics(registry, stats, seconds,
+                                  machine=config.name,
+                                  workload=args.workload)
+        print("\nmetrics snapshot:")
+        print(format_snapshot(registry.snapshot()))
     if args.json:
         from repro.obs import write_metrics_json
 
@@ -245,13 +323,19 @@ def _cmd_frontier(args) -> int:
     }
     grid.update(machine_registry())
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    points, profile = design_space_frontier(
-        techs=techs,
-        machines=grid,
-        max_instructions=args.instructions,
-        jobs=args.jobs,
-        cache=cache,
-    )
+    meter = _progress_meter(args.progress, None, "cells")
+    try:
+        points, profile = design_space_frontier(
+            techs=techs,
+            machines=grid,
+            max_instructions=args.instructions,
+            jobs=args.jobs,
+            cache=cache,
+            heartbeat=meter.post if meter else None,
+        )
+    finally:
+        if meter:
+            meter.close()
     print(format_frontier(points))
     from repro.report import frontier_chart
 
@@ -259,6 +343,16 @@ def _cmd_frontier(args) -> int:
     print(frontier_chart(points))
     print("\ncampaign profile:")
     print(profile.format_report())
+    from repro.core.campaign import grid_fingerprint
+
+    _record_ledger(
+        "frontier",
+        profile=profile,
+        config_hash=grid_fingerprint(grid, WORKLOAD_NAMES,
+                                     args.instructions),
+        extra={"tech": args.tech, "points": len(points),
+               "jobs": args.jobs},
+    )
     if args.metrics:
         import json
 
@@ -287,7 +381,11 @@ def _cmd_experiment(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
-    from repro.core.campaign import ResultCache, run_campaign
+    from repro.core.campaign import (
+        ResultCache,
+        grid_fingerprint,
+        run_campaign,
+    )
     from repro.core.results_io import save_result
 
     try:
@@ -301,22 +399,36 @@ def _cmd_campaign(args) -> int:
     progress = None
     if args.verbose:
         progress = lambda line: print(f"  {line}", file=sys.stderr)  # noqa: E731
-    result, profile = run_campaign(
-        configs,
-        max_instructions=args.instructions,
-        name=args.which,
-        jobs=args.jobs,
-        cache=cache,
-        timeout=args.timeout,
-        retries=args.retries,
-        progress=progress,
-    )
+    meter = _progress_meter(args.progress,
+                            len(configs) * len(WORKLOAD_NAMES), "cells")
+    try:
+        result, profile = run_campaign(
+            configs,
+            max_instructions=args.instructions,
+            name=args.which,
+            jobs=args.jobs,
+            cache=cache,
+            timeout=args.timeout,
+            retries=args.retries,
+            progress=progress,
+            heartbeat=meter.post if meter else None,
+        )
+    finally:
+        if meter:
+            meter.close()
     print(result.format_table())
     if args.which == "fig17":
         print("\ninter-cluster bypass frequency:")
         print(result.format_table("bypass"))
     print("\ncampaign profile:")
     print(profile.format_report())
+    _record_ledger(
+        "campaign",
+        profile=profile,
+        config_hash=grid_fingerprint(configs, WORKLOAD_NAMES,
+                                     args.instructions),
+        extra={"figure": args.which, "jobs": args.jobs},
+    )
     if args.out:
         save_result(result, args.out)
         print(f"  result written to {args.out}")
@@ -354,20 +466,39 @@ def _cmd_fuzz(args) -> int:
     progress = None
     if args.verbose:
         progress = lambda line: print(f"  {line}", file=sys.stderr)  # noqa: E731
-    report = run_fuzz(
-        cases=args.cases,
-        seed=args.seed,
-        jobs=args.jobs,
-        time_budget=args.time_budget,
-        repro_dir=args.repro_dir or DEFAULT_REPRO_DIR,
-        first_case=args.first_case,
-        case_seed=args.case_seed,
-        fifo_only=args.fifo_only,
-        minimize=not args.no_minimize,
-        progress=progress,
-    )
+    total = 1 if args.case_seed is not None else args.cases
+    meter = _progress_meter(args.progress, total, "cases")
+    try:
+        report = run_fuzz(
+            cases=args.cases,
+            seed=args.seed,
+            jobs=args.jobs,
+            time_budget=args.time_budget,
+            repro_dir=args.repro_dir or DEFAULT_REPRO_DIR,
+            first_case=args.first_case,
+            case_seed=args.case_seed,
+            fifo_only=args.fifo_only,
+            minimize=not args.no_minimize,
+            progress=progress,
+            heartbeat=meter.post if meter else None,
+        )
+    finally:
+        if meter:
+            meter.close()
     print("fuzz campaign:")
     print(report.profile.format_report())
+    _record_ledger(
+        "fuzz",
+        wall_seconds=report.profile.wall_seconds,
+        snapshot=report.profile.snapshot(),
+        extra={
+            "seed": args.seed,
+            "cases": report.profile.cases,
+            "cases_per_second": report.profile.cases_per_second,
+            "failures": report.profile.failures,
+            "skipped": report.profile.skipped,
+        },
+    )
     for failure in report.failures:
         print(f"  case {failure.case_id} (seed {failure.case_seed}, "
               f"{failure.shape}/{failure.kind}):")
@@ -384,6 +515,77 @@ def _cmd_fuzz(args) -> int:
                       sort_keys=True)
         print(f"  fuzz metrics written to {args.metrics}")
     return 0 if report.ok else 1
+
+
+def _cmd_ledger(args) -> int:
+    import json
+
+    from repro.obs.ledger import Ledger, diff_entries
+
+    ledger = Ledger(args.ledger_dir)
+    if args.action == "list":
+        entries = ledger.entries(kind=args.kind, limit=args.limit)
+        if not entries:
+            print("  (ledger empty)")
+            return 0
+        print(text_table(
+            ["run", "kind", "git", "wall s", "inst/s", "cache"],
+            [entry.summary_row() for entry in entries],
+        ))
+        return 0
+    if args.action == "show":
+        entry = ledger.find(args.run_id)
+        if entry is None:
+            print(f"repro ledger: no entry matching {args.run_id!r}",
+                  file=sys.stderr)
+            return 2
+        print(json.dumps(entry.to_dict(), indent=2, sort_keys=True,
+                         ensure_ascii=False))
+        return 0
+    if args.action == "diff":
+        old = ledger.find(args.run_id)
+        new = ledger.find(args.other)
+        for wanted, found in ((args.run_id, old), (args.other, new)):
+            if found is None:
+                print(f"repro ledger: no entry matching {wanted!r}",
+                      file=sys.stderr)
+                return 2
+        print(text_table(
+            ["field", old.run_id[:12], new.run_id[:12], "delta"],
+            [list(row) for row in diff_entries(old, new)],
+        ))
+        return 0
+    removed = ledger.gc(args.keep)  # action == "gc"
+    print(f"  removed {removed} entries, kept newest {args.keep}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.obs.ledger import Ledger
+    from repro.obs.regression import (
+        DEFAULT_THRESHOLD,
+        DEFAULT_WINDOW,
+        check_all,
+        format_findings,
+    )
+
+    try:
+        findings = check_all(
+            bench_dir=args.bench_dir,
+            ledger=Ledger(args.ledger_dir),
+            threshold=(args.threshold if args.threshold is not None
+                       else DEFAULT_THRESHOLD),
+            window=(args.window if args.window is not None
+                    else DEFAULT_WINDOW),
+        )
+    except ValueError as error:
+        print(f"repro bench: error: {error}", file=sys.stderr)
+        return 2
+    print("bench regression gate:")
+    print(format_findings(findings))
+    if findings and args.check:
+        return 1
+    return 0
 
 
 def _cmd_compile(args) -> int:
@@ -530,6 +732,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also write campaign profile JSON")
     campaign.add_argument("-v", "--verbose", action="store_true",
                           help="per-cell progress on stderr")
+    campaign.add_argument("--progress", action="store_true",
+                          help="live telemetry line on stderr (cells, "
+                               "hit rate, inst/s, ETA)")
     campaign.set_defaults(func=_cmd_campaign)
 
     timeline = commands.add_parser("timeline", help="render a pipeline timeline")
@@ -558,6 +763,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="simulate every cell, read/write no cache")
     frontier.add_argument("--metrics", default=None, metavar="PATH",
                           help="also write campaign profile JSON")
+    frontier.add_argument("--progress", action="store_true",
+                          help="live telemetry line on stderr")
     frontier.set_defaults(func=_cmd_frontier)
 
     asm = commands.add_parser("asm", help="assemble and run a program")
@@ -600,7 +807,51 @@ def build_parser() -> argparse.ArgumentParser:
                            "detects and minimizes it")
     fuzz.add_argument("-v", "--verbose", action="store_true",
                       help="per-case progress on stderr")
+    fuzz.add_argument("--progress", action="store_true",
+                      help="live telemetry line on stderr")
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    ledger_cmd = commands.add_parser(
+        "ledger", help="inspect the append-only run ledger"
+    )
+    ledger_cmd.add_argument("--ledger-dir", default=None, metavar="DIR",
+                            help="ledger directory (default "
+                                 "$REPRO_LEDGER_DIR or .repro/ledger)")
+    ledger_sub = ledger_cmd.add_subparsers(dest="action", required=True)
+    ledger_list = ledger_sub.add_parser("list", help="newest entries")
+    ledger_list.add_argument("--kind", default=None,
+                             help="filter by run kind (simulate, campaign, "
+                                  "frontier, fuzz)")
+    ledger_list.add_argument("--limit", type=int, default=20,
+                             help="newest entries to show (default 20)")
+    ledger_show = ledger_sub.add_parser("show", help="one entry as JSON")
+    ledger_show.add_argument("run_id", help="run id (or unique prefix)")
+    ledger_diff = ledger_sub.add_parser("diff", help="compare two entries")
+    ledger_diff.add_argument("run_id", help="older run id (or prefix)")
+    ledger_diff.add_argument("other", help="newer run id (or prefix)")
+    ledger_gc = ledger_sub.add_parser("gc", help="compact old entries")
+    ledger_gc.add_argument("--keep", type=int, default=100,
+                           help="newest entries to keep (default 100)")
+    ledger_cmd.set_defaults(func=_cmd_ledger)
+
+    bench = commands.add_parser(
+        "bench",
+        help="perf-regression gate: measurements vs committed floors "
+             "and the ledger trailing window",
+    )
+    bench.add_argument("--check", action="store_true",
+                       help="exit nonzero when any regression is found")
+    bench.add_argument("--threshold", type=float, default=None,
+                       help="max tolerated relative drop vs the trailing "
+                            "mean, in (0, 1] (default 0.5)")
+    bench.add_argument("--window", type=int, default=None,
+                       help="trailing ledger entries per kind (default 5)")
+    bench.add_argument("--bench-dir", default=".", metavar="DIR",
+                       help="directory holding BENCH_*.json (default .)")
+    bench.add_argument("--ledger-dir", default=None, metavar="DIR",
+                       help="ledger directory (default $REPRO_LEDGER_DIR "
+                            "or .repro/ledger)")
+    bench.set_defaults(func=_cmd_bench)
 
     compile_cmd = commands.add_parser(
         "compile", help="compile and run a Mini program"

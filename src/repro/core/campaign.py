@@ -41,7 +41,9 @@ from typing import Any, Callable
 
 from repro.core import results_io
 from repro.core.experiments import DEFAULT_INSTRUCTIONS, ExperimentResult
-from repro.obs.profiling import CampaignProfile
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import CampaignProfile, record_simulation_metrics
+from repro.obs.progress import Heartbeat
 from repro.uarch.config import MachineConfig
 from repro.uarch.pipeline import simulate
 from repro.uarch.preanalysis import PREANALYSIS_VERSION
@@ -128,6 +130,33 @@ def cache_key(
     return digest.hexdigest()
 
 
+def grid_fingerprint(
+    configs: dict[str, MachineConfig],
+    workloads: tuple[str, ...],
+    max_instructions: int,
+) -> str:
+    """Content address of a whole campaign grid.
+
+    The run ledger stores this as the campaign's ``config_hash``: two
+    invocations share it exactly when they sweep the same machines,
+    workloads, and budget under the same serialisation versions.
+    """
+    payload = {
+        "configs": {
+            name: config_fingerprint(config)
+            for name, config in configs.items()
+        },
+        "workloads": list(workloads),
+        "max_instructions": max_instructions,
+        "stats_format": results_io.FORMAT_VERSION,
+        "preanalysis": PREANALYSIS_VERSION,
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    )
+    return digest.hexdigest()
+
+
 class ResultCache:
     """Content-addressed on-disk cache of per-cell ``SimStats``.
 
@@ -187,12 +216,27 @@ def simulate_cell(cell: CampaignCell) -> dict:
     :class:`SimStats` so the pool path, the serial path, and the cache
     all move the exact same payload::
 
-        {"stats": SimStats.to_dict(), "seconds": wall}
+        {"stats": SimStats.to_dict(), "seconds": wall,
+         "metrics": MetricsSnapshot.to_dict()}
+
+    The worker accumulates its cell into a private
+    :class:`~repro.obs.metrics.MetricsRegistry` and ships the frozen
+    snapshot home; the parent folds worker snapshots together in
+    deterministic presentation order, so campaign-level metrics are
+    exact, not sampled, and identical for ``jobs=1`` and ``jobs=N``.
     """
     start = time.perf_counter()
     trace = get_trace(cell.workload, cell.max_instructions)
     stats = simulate(cell.config, trace)
-    return {"stats": stats.to_dict(), "seconds": time.perf_counter() - start}
+    seconds = time.perf_counter() - start
+    registry = MetricsRegistry()
+    record_simulation_metrics(registry, stats, seconds,
+                              machine=cell.machine, workload=cell.workload)
+    return {
+        "stats": stats.to_dict(),
+        "seconds": seconds,
+        "metrics": registry.snapshot().to_dict(),
+    }
 
 
 def _run_serially(
@@ -214,13 +258,14 @@ def _run_serially(
 
 
 def _collect_parallel(
-    cells: list[CampaignCell],
+    cells: list[Any],
     jobs: int,
-    runner: Callable[[CampaignCell], dict],
+    runner: Callable[[Any], dict],
     timeout: float | None,
     retries: int,
-    profile: CampaignProfile,
+    profile: Any,
     progress: Callable[[str], None] | None,
+    heartbeat: Callable[[Any, dict], None] | None = None,
 ) -> dict[int, dict]:
     """Fan cells out over a process pool; returns index -> payload.
 
@@ -228,8 +273,18 @@ def _collect_parallel(
     worker error or timeout, then graceful degradation -- the cell is
     simulated serially in this process, which cannot time out and
     surfaces any real error directly.
+
+    ``heartbeat(cell, payload)``, when given, fires once per completed
+    cell *as it completes* (completion order, unlike the deterministic
+    result merge) -- this is the live-telemetry tap the ``--progress``
+    meter drinks from.
     """
     payloads: dict[int, dict] = {}
+
+    def completed(cell: Any, payload: dict) -> None:
+        if heartbeat:
+            heartbeat(cell, payload)
+
     try:
         pool_cm = multiprocessing.get_context().Pool(processes=jobs)
     except (OSError, ValueError):
@@ -238,6 +293,7 @@ def _collect_parallel(
         for index, cell in enumerate(cells):
             profile.serial_fallbacks += 1
             payloads[index] = _run_serially(cell, runner, retries, profile)
+            completed(cell, payloads[index])
         return payloads
     with pool_cm as pool:
         pending = {
@@ -254,6 +310,7 @@ def _collect_parallel(
                 if progress:
                     progress(f"{cell.label}: simulated "
                              f"({payloads[index]['seconds']:.2f}s)")
+                completed(cell, payloads[index])
                 continue
             except multiprocessing.TimeoutError:
                 profile.timeouts += 1
@@ -274,6 +331,7 @@ def _collect_parallel(
                     progress(f"{cell.label}: {failure}; falling back to "
                              "serial execution")
                 payloads[index] = _run_serially(cell, runner, 0, profile)
+                completed(cell, payloads[index])
     return payloads
 
 
@@ -293,6 +351,7 @@ def run_campaign(
     retries: int = DEFAULT_RETRIES,
     progress: Callable[[str], None] | None = None,
     runner: Callable[[CampaignCell], dict] | None = None,
+    heartbeat: Callable[[Heartbeat], None] | None = None,
 ) -> tuple[ExperimentResult, CampaignProfile]:
     """Run a (machine x workload) grid and return result + profile.
 
@@ -311,6 +370,10 @@ def run_campaign(
         progress: Optional per-cell callback (human-readable lines).
         runner: Cell executor override (tests inject failures here);
             defaults to :func:`simulate_cell`.
+        heartbeat: Optional live-telemetry callback receiving one
+            :class:`~repro.obs.progress.Heartbeat` per completed cell
+            in *completion* order (cache hits included) -- what the
+            CLI's ``--progress`` meter consumes.
 
     Returns:
         ``(result, profile)`` -- the deterministic
@@ -353,15 +416,27 @@ def run_campaign(
                                   source="cache")
                 if progress:
                     progress(f"{cell.label}: cache hit")
+                if heartbeat:
+                    heartbeat(Heartbeat(label=cell.label, source="cache"))
                 continue
         misses.append((index, cell))
+
+    def beat(cell: CampaignCell, payload: dict) -> None:
+        if heartbeat:
+            heartbeat(Heartbeat(
+                label=cell.label,
+                source="simulated",
+                seconds=payload.get("seconds", 0.0),
+                instructions=payload.get("stats", {}).get("committed", 0),
+            ))
 
     # Execute the misses.
     if misses:
         miss_cells = [cell for _, cell in misses]
         if jobs > 1:
             payloads = _collect_parallel(
-                miss_cells, jobs, runner, timeout, retries, profile, progress
+                miss_cells, jobs, runner, timeout, retries, profile,
+                progress, heartbeat=beat,
             )
         else:
             payloads = {}
@@ -372,12 +447,19 @@ def run_campaign(
                 if progress:
                     progress(f"{cell.label}: simulated "
                              f"({payloads[position]['seconds']:.2f}s)")
+                beat(cell, payloads[position])
+        # Fold worker metrics in *presentation* order -- the misses
+        # list is already sorted by cell index, so the merged snapshot
+        # is byte-identical for jobs=1, jobs=N, and any completion
+        # order (MetricsSnapshot.merge_all makes even adversarial
+        # orderings equal; this keeps the live registry exact too).
         for position, (index, cell) in enumerate(misses):
             payload = payloads[position]
             stats = SimStats.from_dict(payload["stats"])
             stats_by_index[index] = stats
             profile.note_cell(cell.label, payload["seconds"],
                               stats.committed)
+            profile.merge_worker_snapshot(payload.get("metrics"))
             if cache is not None:
                 cache.store(keys[index], stats)
 

@@ -152,6 +152,15 @@ def sweep_design_points(
         name=name,
         **campaign_options,
     )
+    # Sweep-shape gauges: how much config sharing the distinct-config
+    # dedup bought (the frontier CLI and the run ledger surface these).
+    profile.registry.gauge(
+        "design_points", "Design points in the sweep (configs x techs)"
+    ).set(len(points))
+    profile.registry.gauge(
+        "design_distinct_configs",
+        "Distinct machine configs actually simulated",
+    ).set(len(unique_configs))
 
     swept: list[SweptDesign] = []
     for label, point in points:

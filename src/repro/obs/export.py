@@ -11,9 +11,17 @@
 * :func:`metrics_dict` packages a :class:`~repro.uarch.stats.SimStats`
   (via its audited ``to_dict``) with derived ratios for benchmark
   harnesses and dashboards.
+* :func:`prometheus_text` / :func:`snapshot_payload` export a
+  :class:`~repro.obs.metrics.MetricsSnapshot` as Prometheus text
+  exposition format and as versioned JSON.  Both are deterministic:
+  the same snapshot always produces the same bytes, and
+  :meth:`~repro.obs.metrics.MetricsSnapshot.merge_all` is
+  order-independent, so the exports of a merged campaign are
+  byte-identical regardless of worker arrival order.
 
-Both formats have validators (:func:`validate_chrome_trace`,
-:func:`validate_metrics`) used by the CLI and the smoke tests.
+All formats have validators (:func:`validate_chrome_trace`,
+:func:`validate_metrics`, :func:`validate_snapshot_payload`) used by
+the CLI and the smoke tests.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ import json
 from pathlib import Path
 
 from repro.obs.events import EventKind, TraceEvent
+from repro.obs.metrics import MetricsSnapshot, _labels_from_key
 from repro.uarch.stats import SimStats
 
 #: Format marker embedded in metrics payloads.
@@ -247,3 +256,113 @@ def write_metrics_json(path: str | Path, stats: SimStats) -> dict:
         json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8"
     )
     return payload
+
+
+# ----------------------------------------------------------------------
+# metrics-snapshot exporters (Prometheus text + versioned JSON)
+# ----------------------------------------------------------------------
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition rules."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def _format_value(value) -> str:
+    """Deterministic sample formatting: ints bare, floats via repr."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _series(name: str, labels, extra: tuple = ()) -> str:
+    """One ``name{key="value",...}`` series head."""
+    pairs = list(labels) + list(extra)
+    if not pairs:
+        return name
+    inner = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"' for key, value in pairs
+    )
+    return f"{name}{{{inner}}}"
+
+
+def prometheus_text(snapshot: MetricsSnapshot) -> str:
+    """A snapshot in the Prometheus text exposition format.
+
+    Deterministic: metrics sort by name, samples by canonical label
+    key, and histograms export cumulative ``_bucket`` series plus
+    ``_sum``/``_count`` -- so byte comparison is a valid equality
+    check for merged snapshots.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot.metrics):
+        entry = snapshot.metrics[name]
+        if entry.get("help"):
+            lines.append(f"# HELP {name} {entry['help']}")
+        lines.append(f"# TYPE {name} {entry['kind']}")
+        if entry["kind"] == "histogram":
+            bounds = entry["buckets"]
+            for key, data in entry["samples"].items():
+                labels = _labels_from_key(key)
+                cumulative = 0
+                for bound, count in zip(bounds, data["counts"]):
+                    cumulative += count
+                    lines.append(
+                        f"{_series(name + '_bucket', labels, (('le', _format_value(float(bound))),))}"
+                        f" {cumulative}"
+                    )
+                cumulative += data["counts"][-1]
+                lines.append(
+                    f"{_series(name + '_bucket', labels, (('le', '+Inf'),))}"
+                    f" {cumulative}"
+                )
+                lines.append(
+                    f"{_series(name + '_sum', labels)} "
+                    f"{_format_value(data['sum'])}"
+                )
+                lines.append(
+                    f"{_series(name + '_count', labels)} {data['count']}"
+                )
+        else:
+            for key, value in entry["samples"].items():
+                labels = _labels_from_key(key)
+                lines.append(f"{_series(name, labels)} {_format_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot_payload(snapshot: MetricsSnapshot) -> dict:
+    """A snapshot as its versioned JSON document."""
+    return snapshot.to_dict()
+
+
+def validate_snapshot_payload(payload: dict) -> None:
+    """Round-trip a snapshot payload; raises ValueError on problems."""
+    snapshot = MetricsSnapshot.from_dict(payload)
+    prometheus_text(snapshot)  # every entry must render
+    json.dumps(payload)  # and serialise
+
+
+def write_snapshot_json(path: str | Path, snapshot: MetricsSnapshot) -> dict:
+    """Validate and write a snapshot's JSON document; returns it."""
+    payload = snapshot_payload(snapshot)
+    validate_snapshot_payload(payload)
+    Path(path).write_text(
+        json.dumps(payload, indent=1, sort_keys=True, ensure_ascii=False)
+        + "\n",
+        encoding="utf-8",
+    )
+    return payload
+
+
+def write_prometheus_text(path: str | Path,
+                          snapshot: MetricsSnapshot) -> str:
+    """Write a snapshot in Prometheus text format; returns the text."""
+    text = prometheus_text(snapshot)
+    Path(path).write_text(text, encoding="utf-8")
+    return text

@@ -1,21 +1,29 @@
 """Host-side profiling of the simulator itself.
 
 The paper's machines are judged by cycles; the *reproduction* is
-judged by wall-clock.  This harness answers "where does simulation
-time go?" without external profilers: it wraps one simulator's stage
-methods with ``perf_counter`` accounting and reports per-stage
-Python-time plus end-to-end throughput (simulated instructions and
-cycles per host second).
+judged by wall-clock.  This module answers "where does simulation
+time go?" and "what did the campaign do?" -- and since the metrics
+backbone landed, every profile here is a **thin view over a**
+:class:`~repro.obs.metrics.MetricsRegistry`: the counters live in the
+registry (one source of truth the exporters, the run ledger, and the
+future service tier all read), and the profile classes only add
+derived properties and report formatting on top.
 
-The instrumentation is per-instance (bound-method shadowing), so
-profiled and unprofiled simulators coexist and the unprofiled hot
-path is untouched.
+The instrumentation in :func:`profile_simulation` is per-instance
+(bound-method shadowing), so profiled and unprofiled simulators
+coexist and the unprofiled hot path is untouched.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    format_snapshot,
+)
 
 #: Stage methods sampled, with their report labels (pipeline order).
 STAGE_METHODS = (
@@ -25,6 +33,117 @@ STAGE_METHODS = (
     ("_dispatch", "rename/dispatch"),
     ("_fetch", "fetch"),
 )
+
+#: Wall-clock histogram bounds for one campaign cell / fuzz case.
+CELL_SECONDS_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0)
+
+#: Registry metric names the campaign-side profiles maintain.  The
+#: docs-sync suite pins docs/observability.md to this closed list.
+CAMPAIGN_METRIC_NAMES = (
+    "campaign_cells_total",
+    "campaign_instructions_total",
+    "campaign_cell_seconds",
+    "pool_retries_total",
+    "pool_timeouts_total",
+    "pool_serial_fallbacks_total",
+)
+
+#: Registry metric names the fuzz profile maintains.
+FUZZ_METRIC_NAMES = (
+    "fuzz_cases_total",
+    "fuzz_failures_total",
+    "fuzz_case_seconds",
+)
+
+#: Registry metric names one simulation run records.
+SIMULATION_METRIC_NAMES = (
+    "sim_instructions_total",
+    "sim_cycles_total",
+    "sim_wall_seconds_total",
+    "sim_ipc",
+)
+
+
+def record_simulation_metrics(registry, stats, seconds,
+                              machine: str, workload: str) -> None:
+    """Fold one simulation run into a registry.
+
+    The single labeling convention every harness shares: single runs
+    (``repro stats``), campaign worker cells, and the fuzzer all
+    record through here, so their snapshots merge and read the same
+    way.
+    """
+    labels = {"machine": machine, "workload": workload}
+    registry.counter(
+        "sim_instructions_total", "Committed instructions simulated"
+    ).inc(stats.committed, labels)
+    registry.counter(
+        "sim_cycles_total", "Machine cycles simulated"
+    ).inc(stats.cycles, labels)
+    registry.counter(
+        "sim_wall_seconds_total", "Host wall-clock spent simulating"
+    ).inc(seconds, labels)
+    registry.gauge(
+        "sim_ipc", "Instructions per cycle of the last run"
+    ).set(stats.ipc, labels)
+
+
+class _PoolCountersView:
+    """Shared pool-degradation accounting over a registry.
+
+    ``retries`` / ``timeouts`` / ``serial_fallbacks`` are registry
+    counters exposed as int properties with ``+=``-compatible setters,
+    so the campaign pool accounts identically into either profile
+    type (this was previously duplicated field plumbing)."""
+
+    _POOL_COUNTER_HELP = {
+        "pool_retries_total": "Cell/case resubmissions after failure",
+        "pool_timeouts_total": "Per-cell timeouts in the worker pool",
+        "pool_serial_fallbacks_total":
+            "Cells degraded to in-process serial execution",
+    }
+
+    def _pool_counter(self, name: str):
+        return self.registry.counter(name, self._POOL_COUNTER_HELP[name])
+
+    def _get_pool(self, name: str) -> int:
+        return int(self._pool_counter(name).value())
+
+    def _set_pool(self, name: str, value: int) -> None:
+        counter = self._pool_counter(name)
+        counter.inc(value - counter.value())
+
+    @property
+    def retries(self) -> int:
+        return self._get_pool("pool_retries_total")
+
+    @retries.setter
+    def retries(self, value: int) -> None:
+        self._set_pool("pool_retries_total", value)
+
+    @property
+    def timeouts(self) -> int:
+        return self._get_pool("pool_timeouts_total")
+
+    @timeouts.setter
+    def timeouts(self, value: int) -> None:
+        self._set_pool("pool_timeouts_total", value)
+
+    @property
+    def serial_fallbacks(self) -> int:
+        return self._get_pool("pool_serial_fallbacks_total")
+
+    @serial_fallbacks.setter
+    def serial_fallbacks(self, value: int) -> None:
+        self._set_pool("pool_serial_fallbacks_total", value)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """The profile's registry state, frozen for merge/export."""
+        return self.registry.snapshot()
+
+    def format_metrics(self) -> str:
+        """The shared snapshot rendering (``repro stats`` parity)."""
+        return format_snapshot(self.snapshot())
 
 
 @dataclass
@@ -45,7 +164,8 @@ class ProfileReport:
 
     @property
     def instructions_per_second(self) -> float:
-        """Simulated instructions per host second."""
+        """Simulated instructions per host second (0.0 when no time
+        has accrued -- an empty profile never raises)."""
         if self.wall_seconds <= 0:
             return 0.0
         return self.instructions / self.wall_seconds
@@ -62,6 +182,31 @@ class ProfileReport:
         """Run time outside the sampled stage methods (main loop,
         stats bookkeeping, and the samplers themselves)."""
         return max(0.0, self.wall_seconds - sum(self.stage_seconds.values()))
+
+    def snapshot(self) -> MetricsSnapshot:
+        """This run as a metrics snapshot.
+
+        Stage timings accumulate in a plain dict during the run (a
+        registry lookup per stage call would tax the loop being
+        measured) and are folded into registry form on demand here.
+        """
+        registry = MetricsRegistry()
+        registry.counter(
+            "sim_instructions_total", "Committed instructions simulated"
+        ).inc(self.instructions)
+        registry.counter(
+            "sim_cycles_total", "Machine cycles simulated"
+        ).inc(self.cycles)
+        registry.counter(
+            "sim_wall_seconds_total", "Host wall-clock spent simulating"
+        ).inc(self.wall_seconds)
+        stage_counter = registry.counter(
+            "profile_stage_seconds_total",
+            "Host seconds inside each instrumented pipeline stage",
+        )
+        for label, seconds in self.stage_seconds.items():
+            stage_counter.inc(seconds, {"stage": label})
+        return registry.snapshot()
 
     def format_report(self) -> str:
         """Aligned text report of throughput and the stage breakdown."""
@@ -101,7 +246,8 @@ def _instrument(simulator, stage_seconds: dict[str, float]) -> None:
         setattr(simulator, method_name, timed)
 
 
-def profile_simulation(config, trace, max_cycles=None, tracer=None):
+def profile_simulation(config, trace, max_cycles=None, tracer=None,
+                       registry=None):
     """Run one simulation with per-stage host-time sampling.
 
     Args:
@@ -109,6 +255,8 @@ def profile_simulation(config, trace, max_cycles=None, tracer=None):
         trace: The dynamic trace to replay.
         max_cycles: Forwarded to ``PipelineSimulator.run``.
         tracer: Optional event tracer (to profile tracing overhead).
+        registry: Optional :class:`MetricsRegistry` the run is also
+            recorded into (via :func:`record_simulation_metrics`).
 
     Returns:
         ``(stats, report)`` -- the run's
@@ -127,6 +275,12 @@ def profile_simulation(config, trace, max_cycles=None, tracer=None):
     report.wall_seconds = time.perf_counter() - start
     report.instructions = stats.committed
     report.cycles = stats.cycles
+    if registry is not None:
+        record_simulation_metrics(
+            registry, stats, report.wall_seconds,
+            machine=getattr(config, "name", "unknown"),
+            workload=getattr(trace, "name", "unknown"),
+        )
     return stats, report
 
 
@@ -148,54 +302,80 @@ class CellTiming:
 
 
 @dataclass
-class CampaignProfile:
-    """Observability record of one campaign run.
+class CampaignProfile(_PoolCountersView):
+    """Observability record of one campaign run -- a registry view.
 
     The campaign engine (:mod:`repro.core.campaign`) reports every
     cell here as it completes -- cache hit or simulation, with
     per-cell wall-clock -- plus the failure-handling counters, so a
     run can answer "what did the cache save?", "did anything retry or
     degrade to serial?", and "how many simulated instructions per
-    host second did the fleet sustain?".
+    host second did the fleet sustain?".  All counts live in
+    :attr:`registry`; worker-side snapshots merge into it through
+    :meth:`merge_worker_snapshot`.
     """
 
     jobs: int = 1
     wall_seconds: float = 0.0
+    #: Per-cell detail, kept for slowest-cell reporting (the counts
+    #: themselves come from the registry).
     cells: list[CellTiming] = field(default_factory=list)
-    retries: int = 0
-    timeouts: int = 0
-    serial_fallbacks: int = 0
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def note_cell(self, label: str, seconds: float, instructions: int,
                   source: str = "simulated") -> None:
         """Record one completed cell."""
         self.cells.append(CellTiming(label, seconds, instructions, source))
+        labels = {"source": source}
+        self.registry.counter(
+            "campaign_cells_total", "Campaign cells completed, by source"
+        ).inc(1, labels)
+        self.registry.counter(
+            "campaign_instructions_total",
+            "Committed instructions per cell, by source",
+        ).inc(instructions, labels)
+        self.registry.histogram(
+            "campaign_cell_seconds", "Wall-clock per campaign cell",
+            buckets=CELL_SECONDS_BUCKETS,
+        ).observe(seconds, labels)
+
+    def merge_worker_snapshot(self, payload: dict | None) -> None:
+        """Fold one worker's metrics-snapshot document into the
+        registry (the parent-side half of the exact-merge contract;
+        callers feed payloads in deterministic presentation order)."""
+        if not payload:
+            return
+        self.registry.merge_snapshot(MetricsSnapshot.from_dict(payload))
 
     @property
     def cell_count(self) -> int:
         """All cells, cached and simulated."""
-        return len(self.cells)
+        return int(self.registry.value("campaign_cells_total",
+                                       {"source": "cache"})
+                   + self.registry.value("campaign_cells_total",
+                                         {"source": "simulated"}))
 
     @property
     def cache_hits(self) -> int:
         """Cells satisfied from the result cache."""
-        return sum(1 for cell in self.cells if cell.source == "cache")
+        return int(self.registry.value("campaign_cells_total",
+                                       {"source": "cache"}))
 
     @property
     def simulated_cells(self) -> int:
         """Cells that actually ran the simulator."""
-        return sum(1 for cell in self.cells if cell.source != "cache")
+        return self.cell_count - self.cache_hits
 
     @property
     def simulated_instructions(self) -> int:
         """Committed instructions across simulated (non-cached) cells."""
-        return sum(
-            cell.instructions for cell in self.cells if cell.source != "cache"
-        )
+        return int(self.registry.value("campaign_instructions_total",
+                                       {"source": "simulated"}))
 
     @property
     def instructions_per_second(self) -> float:
-        """Simulated instructions per host second of campaign wall."""
+        """Simulated instructions per host second of campaign wall
+        (0.0 when no time has accrued -- never a ZeroDivisionError)."""
         if self.wall_seconds <= 0:
             return 0.0
         return self.simulated_instructions / self.wall_seconds
@@ -222,6 +402,7 @@ class CampaignProfile:
                 }
                 for cell in self.cells
             ],
+            "metrics": self.snapshot().to_dict(),
         }
 
     def format_report(self) -> str:
@@ -250,15 +431,16 @@ class CampaignProfile:
 
 
 @dataclass
-class FuzzProfile:
+class FuzzProfile(_PoolCountersView):
     """Observability record of one differential-fuzzing campaign.
 
     The fuzzer (:mod:`repro.verify.fuzzer`) reports every case here:
     which machine shape and workload kind it sampled, how long it
-    took, and whether any check failed.  The pool-degradation
-    counters (``retries`` / ``timeouts`` / ``serial_fallbacks``)
-    mirror :class:`CampaignProfile` so the shared campaign worker
-    pool can account into either profile type.
+    took, and whether any check failed.  Counts live in
+    :attr:`registry`; the pool-degradation counters (``retries`` /
+    ``timeouts`` / ``serial_fallbacks``) are the same registry series
+    :class:`CampaignProfile` uses, so the shared campaign worker pool
+    accounts into either profile type identically.
     """
 
     jobs: int = 1
@@ -266,25 +448,50 @@ class FuzzProfile:
     wall_seconds: float = 0.0
     #: Cases skipped because the time budget ran out.
     skipped: int = 0
-    #: Sampled machine shapes -> case counts (coverage evidence).
-    shape_counts: dict[str, int] = field(default_factory=dict)
-    #: Workload kinds ("program" / "synthetic") -> case counts.
-    kind_counts: dict[str, int] = field(default_factory=dict)
     #: Per-case wall-clock, in execution order.
     case_seconds: list[float] = field(default_factory=list)
-    failures: int = 0
-    retries: int = 0
-    timeouts: int = 0
-    serial_fallbacks: int = 0
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def note_case(self, shape: str, kind: str, seconds: float,
                   failed: bool) -> None:
         """Record one executed case."""
-        self.shape_counts[shape] = self.shape_counts.get(shape, 0) + 1
-        self.kind_counts[kind] = self.kind_counts.get(kind, 0) + 1
         self.case_seconds.append(seconds)
+        self.registry.counter(
+            "fuzz_cases_total", "Fuzz cases executed, by shape and kind"
+        ).inc(1, {"shape": shape, "kind": kind})
+        self.registry.histogram(
+            "fuzz_case_seconds", "Wall-clock per fuzz case",
+            buckets=CELL_SECONDS_BUCKETS,
+        ).observe(seconds)
         if failed:
-            self.failures += 1
+            self.registry.counter(
+                "fuzz_failures_total", "Fuzz cases with failing checks"
+            ).inc(1)
+
+    @property
+    def shape_counts(self) -> dict[str, int]:
+        """Sampled machine shapes -> case counts (coverage evidence)."""
+        counts: dict[str, int] = {}
+        for labels, value in self.registry.labeled_values(
+                "fuzz_cases_total").items():
+            shape = dict(labels)["shape"]
+            counts[shape] = counts.get(shape, 0) + int(value)
+        return dict(sorted(counts.items()))
+
+    @property
+    def kind_counts(self) -> dict[str, int]:
+        """Workload kinds ("program"/"synthetic") -> case counts."""
+        counts: dict[str, int] = {}
+        for labels, value in self.registry.labeled_values(
+                "fuzz_cases_total").items():
+            kind = dict(labels)["kind"]
+            counts[kind] = counts.get(kind, 0) + int(value)
+        return dict(sorted(counts.items()))
+
+    @property
+    def failures(self) -> int:
+        """Cases with at least one failing check."""
+        return int(self.registry.value("fuzz_failures_total"))
 
     @property
     def cases(self) -> int:
@@ -293,7 +500,8 @@ class FuzzProfile:
 
     @property
     def cases_per_second(self) -> float:
-        """Executed cases per host second of campaign wall-clock."""
+        """Executed cases per host second of campaign wall-clock
+        (0.0 when no time has accrued -- never a ZeroDivisionError)."""
         if self.wall_seconds <= 0:
             return 0.0
         return self.cases / self.wall_seconds
@@ -308,11 +516,12 @@ class FuzzProfile:
             "cases_per_second": self.cases_per_second,
             "failures": self.failures,
             "skipped": self.skipped,
-            "shape_counts": dict(sorted(self.shape_counts.items())),
-            "kind_counts": dict(sorted(self.kind_counts.items())),
+            "shape_counts": self.shape_counts,
+            "kind_counts": self.kind_counts,
             "retries": self.retries,
             "timeouts": self.timeouts,
             "serial_fallbacks": self.serial_fallbacks,
+            "metrics": self.snapshot().to_dict(),
         }
 
     def format_report(self) -> str:
@@ -329,11 +538,11 @@ class FuzzProfile:
         ]
         shapes = ", ".join(
             f"{name} x{count}"
-            for name, count in sorted(self.shape_counts.items())
+            for name, count in self.shape_counts.items()
         )
         kinds = ", ".join(
             f"{name} x{count}"
-            for name, count in sorted(self.kind_counts.items())
+            for name, count in self.kind_counts.items()
         )
         lines.append(f"  shapes: {shapes or '(none)'}")
         lines.append(f"  workloads: {kinds or '(none)'}")

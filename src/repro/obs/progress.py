@@ -1,0 +1,173 @@
+"""Live campaign telemetry: heartbeats and the ``--progress`` line.
+
+The campaign engine, frontier sweep, and fuzzer emit one
+:class:`Heartbeat` per completed unit of work (cell or case).  A
+:class:`ProgressMeter` consumes them through an internal queue --
+decoupling emission (inside the engine's collection loop) from
+rendering (a single in-place TTY line on stderr) -- and derives the
+live figures: units done, cache-hit rate, sustained simulated
+instructions per second, and the ETA extrapolated from progress so
+far.
+
+The meter renders with a carriage return on TTYs (one continuously
+updated line) and stays silent on non-TTY streams until ``close()``,
+which always emits one final summary line -- so CI logs get exactly
+one line instead of thousands.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """One completed unit of campaign work.
+
+    Attributes:
+        label: Display identifier (``machine/workload`` or case id).
+        source: ``"simulated"``, ``"cache"``, ``"case"``, or
+            ``"fail"`` -- what kind of completion this was.
+        seconds: Wall-clock the unit took (0.0 for cache hits).
+        instructions: Simulated instructions in the unit (0 when not
+            applicable, e.g. cache hits or failed cases).
+    """
+
+    label: str
+    source: str = "simulated"
+    seconds: float = 0.0
+    instructions: int = 0
+
+
+class ProgressMeter:
+    """Consumes heartbeats; renders one live progress line.
+
+    Args:
+        total: Expected units, or None when unknown (no ETA then).
+        stream: Output stream (stderr-like); None disables rendering
+            but keeps the accounting (useful in tests).
+        unit: Noun for the progress line (``cells``, ``cases``).
+        clock: Injectable monotonic clock (tests).
+    """
+
+    def __init__(self, total: int | None, stream=None, unit: str = "cells",
+                 clock=time.perf_counter) -> None:
+        if total is not None and total < 0:
+            raise ValueError(f"total must be >= 0, got {total}")
+        self.total = total
+        self.stream = stream
+        self.unit = unit
+        self._clock = clock
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._started = clock()
+        self.done = 0
+        self.hits = 0
+        self.failures = 0
+        self.instructions = 0
+        self._closed = False
+
+    # -- the heartbeat queue --------------------------------------------
+
+    def post(self, beat: Heartbeat) -> None:
+        """Enqueue one heartbeat and drain (engine-side callback)."""
+        self._queue.put(beat)
+        self.drain()
+
+    def drain(self) -> None:
+        """Fold every queued heartbeat into the counters and render."""
+        updated = False
+        while True:
+            try:
+                beat = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            self.done += 1
+            if beat.source == "cache":
+                self.hits += 1
+            elif beat.source == "fail":
+                self.failures += 1
+            self.instructions += beat.instructions
+            updated = True
+        if updated:
+            self._render()
+
+    # -- derived figures -------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the meter started."""
+        return max(self._clock() - self._started, 0.0)
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits over completed units (0.0 before any beat)."""
+        if self.done <= 0:
+            return 0.0
+        return self.hits / self.done
+
+    @property
+    def instructions_per_second(self) -> float:
+        """Simulated instructions per elapsed second (0.0 at start)."""
+        elapsed = self.elapsed
+        if elapsed <= 0:
+            return 0.0
+        return self.instructions / elapsed
+
+    @property
+    def eta_seconds(self) -> float | None:
+        """Remaining seconds extrapolated from progress; None when
+        unknowable (no total, or nothing completed yet)."""
+        if self.total is None or self.done <= 0:
+            return None
+        remaining = self.total - self.done
+        if remaining <= 0:
+            return 0.0
+        return self.elapsed / self.done * remaining
+
+    def line(self) -> str:
+        """The current progress line (no trailing newline)."""
+        if self.total is not None:
+            head = f"{self.done}/{self.total} {self.unit}"
+        else:
+            head = f"{self.done} {self.unit}"
+        parts = [
+            head,
+            f"{100 * self.hit_rate:.0f}% hits",
+            f"{self.instructions_per_second:,.0f} inst/s",
+        ]
+        if self.failures:
+            parts.append(f"{self.failures} failed")
+        eta = self.eta_seconds
+        if eta is not None:
+            parts.append(f"ETA {eta:.1f}s")
+        return ", ".join(parts)
+
+    # -- rendering -------------------------------------------------------
+
+    def _is_tty(self) -> bool:
+        isatty = getattr(self.stream, "isatty", None)
+        try:
+            return bool(isatty()) if callable(isatty) else False
+        except (OSError, ValueError):
+            return False
+
+    def _render(self) -> None:
+        if self.stream is None or self._closed or not self._is_tty():
+            return
+        self.stream.write("\r\x1b[2K  " + self.line())
+        self.stream.flush()
+
+    def close(self) -> None:
+        """Drain, emit the final summary line, and stop rendering."""
+        if self._closed:
+            return
+        self.drain()
+        if self.stream is not None:
+            if self._is_tty():
+                self.stream.write("\r\x1b[2K")
+            self.stream.write(f"  {self.line()} "
+                              f"in {self.elapsed:.2f}s\n")
+            self.stream.flush()
+        self._closed = True

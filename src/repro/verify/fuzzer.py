@@ -30,6 +30,7 @@ from repro.core.campaign import _collect_parallel
 from repro.isa.assembler import AssemblerError, assemble
 from repro.isa.emulator import EmulationError, Emulator
 from repro.obs.profiling import FuzzProfile
+from repro.obs.progress import Heartbeat
 from repro.uarch.config import MachineConfig
 from repro.uarch.pipeline_reference import ReferencePipelineSimulator
 from repro.verify import minimize as minimize_mod
@@ -248,6 +249,7 @@ def run_fuzz(
     first_case: int = 0,
     case_seed: int | None = None,
     progress: Callable[[str], None] | None = None,
+    heartbeat: Callable[[Heartbeat], None] | None = None,
 ) -> FuzzReport:
     """Run a differential-fuzzing campaign.
 
@@ -272,6 +274,10 @@ def run_fuzz(
             *derived* seed (the value a reproducer's header records),
             ignoring ``cases``/``seed``/``first_case``.
         progress: Optional line-oriented progress callback.
+        heartbeat: Optional live-telemetry callback receiving one
+            :class:`~repro.obs.progress.Heartbeat` per executed case
+            in completion order (source ``"case"``, or ``"fail"`` for
+            cases with failing checks).
 
     Returns:
         A :class:`FuzzReport` with the profile and any failures.
@@ -297,6 +303,16 @@ def run_fuzz(
             for case_id in range(first_case, first_case + cases)
         ]
     failures: list[FuzzFailure] = []
+
+    def beat(case, payload: dict) -> None:
+        if heartbeat:
+            heartbeat(Heartbeat(
+                label=case.label,
+                source="fail" if payload["failures"] else "case",
+                seconds=payload.get("seconds", 0.0),
+                instructions=payload.get("instructions") or 0,
+            ))
+
     batch_size = max(16, jobs * 4) if jobs > 1 else 1
     position = 0
     while position < len(queue):
@@ -311,11 +327,16 @@ def run_fuzz(
         position += len(batch)
         if jobs > 1:
             payloads = _collect_parallel(
-                batch, jobs, run_fuzz_case, None, 0, profile, progress
+                batch, jobs, run_fuzz_case, None, 0, profile, progress,
+                heartbeat=beat,
             )
             ordered = [payloads[i] for i in range(len(batch))]
         else:
-            ordered = [run_fuzz_case(case) for case in batch]
+            ordered = []
+            for case in batch:
+                payload = run_fuzz_case(case)
+                ordered.append(payload)
+                beat(case, payload)
         for case, payload in zip(batch, ordered):
             profile.note_case(
                 payload["shape"], payload["kind"], payload["seconds"],

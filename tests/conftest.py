@@ -1,0 +1,16 @@
+"""Shared test fixtures.
+
+Every test gets an isolated run ledger: CLI commands append to the
+ledger on every invocation, and without this fixture a test calling
+``main([...])`` from the repo root would grow a real ``.repro/ledger``
+inside the checkout.
+"""
+
+import pytest
+
+from repro.obs.ledger import LEDGER_DIR_ENV
+
+
+@pytest.fixture(autouse=True)
+def _isolated_ledger(tmp_path, monkeypatch):
+    monkeypatch.setenv(LEDGER_DIR_ENV, str(tmp_path / "ledger"))

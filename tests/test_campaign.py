@@ -395,3 +395,114 @@ class TestCounterCacheAudit:
         # The run really exercised cycle skipping (idle cycles show up
         # as zero-issue rows), so the equality above is load-bearing.
         assert warm_stats.issue_histogram.get(0, 0) > 0
+
+
+class TestHeartbeats:
+    """Live telemetry: one Heartbeat per completed cell."""
+
+    def test_cold_run_emits_simulated_beats(self, fig13_grid, tmp_path):
+        beats = []
+        result, profile = run_campaign(
+            fig13_grid, max_instructions=N,
+            cache=ResultCache(tmp_path / "cache"), heartbeat=beats.append,
+        )
+        assert len(beats) == profile.cell_count
+        assert {b.source for b in beats} == {"simulated"}
+        assert {b.label for b in beats} == {
+            f"{machine}/{workload}"
+            for machine in fig13_grid for workload in WORKLOAD_NAMES
+        }
+        assert sum(b.instructions for b in beats) == (
+            profile.simulated_instructions)
+        assert all(b.seconds > 0 for b in beats)
+
+    def test_warm_run_emits_cache_beats(self, fig13_grid, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_campaign(fig13_grid, max_instructions=N, cache=cache)
+        beats = []
+        _, profile = run_campaign(
+            fig13_grid, max_instructions=N, cache=cache,
+            heartbeat=beats.append,
+        )
+        assert profile.simulated_cells == 0
+        assert len(beats) == profile.cell_count
+        assert {b.source for b in beats} == {"cache"}
+
+    def test_parallel_run_beats_cover_every_cell(self, fig13_grid):
+        beats = []
+        _, profile = run_campaign(
+            fig13_grid, max_instructions=N, jobs=2, cache=None,
+            heartbeat=beats.append,
+        )
+        assert len(beats) == profile.cell_count
+        assert {b.source for b in beats} == {"simulated"}
+
+
+class TestCampaignMetrics:
+    """The exact-merge contract between workers and the parent."""
+
+    def worker_payloads(self, fig13_grid):
+        config = fig13_grid[next(iter(fig13_grid))]
+        cells = [
+            CampaignCell(machine="m", config=config, workload=workload,
+                         max_instructions=N)
+            for workload in WORKLOAD_NAMES[:2]
+        ]
+        return [simulate_cell(cell)["metrics"] for cell in cells]
+
+    def test_worker_payload_merge_is_order_independent(self, fig13_grid):
+        # Acceptance: two workers' snapshots merge byte-identically
+        # regardless of which finishes first.
+        from repro.obs.metrics import MetricsSnapshot
+
+        a, b = [MetricsSnapshot.from_dict(p)
+                for p in self.worker_payloads(fig13_grid)]
+        assert (MetricsSnapshot.merge_all([a, b]).canonical_json()
+                == MetricsSnapshot.merge_all([b, a]).canonical_json())
+
+    def test_serial_and_parallel_runs_agree_exactly(self, fig13_grid):
+        # Deterministic series (instruction/cycle/cell counts) are
+        # identical for jobs=1 and jobs=N; only wall times may differ.
+        serial_result, serial = run_campaign(
+            fig13_grid, max_instructions=N, jobs=1, cache=None)
+        parallel_result, parallel = run_campaign(
+            fig13_grid, max_instructions=N, jobs=2, cache=None)
+        assert serialise(serial_result) == serialise(parallel_result)
+        for name in ("sim_instructions_total", "sim_cycles_total",
+                     "campaign_cells_total",
+                     "campaign_instructions_total"):
+            assert serial.registry.labeled_values(name) == (
+                parallel.registry.labeled_values(name)), name
+
+    def test_profile_metrics_cover_cache_and_simulated(
+            self, fig13_grid, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_campaign(fig13_grid, max_instructions=N, cache=cache)
+        _, warm = run_campaign(fig13_grid, max_instructions=N, cache=cache)
+        values = warm.registry.labeled_values("campaign_cells_total")
+        assert values[(("source", "cache"),)] == warm.cell_count
+
+
+class TestCampaignLedgerCli:
+    """Acceptance: every CLI campaign run appends a ledger entry; the
+    warm rerun records simulated_cells == 0."""
+
+    def test_warm_rerun_appends_zero_simulation_entry(
+            self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.obs.ledger import Ledger
+
+        argv = ["campaign", "fig13", "-n", "400",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        assert "ledger: recorded campaign run" in capsys.readouterr().out
+
+        cold, warm = Ledger().entries(kind="campaign")
+        assert cold.simulated_cells == cold.cell_count > 0
+        assert cold.cache_hits == 0
+        assert warm.simulated_cells == 0
+        assert warm.cache_hits == warm.cell_count == cold.cell_count
+        assert warm.instructions_per_second == 0.0
+        assert warm.config_hash == cold.config_hash != ""
+        assert warm.metrics["kind"] == "repro-metrics-snapshot"

@@ -246,3 +246,72 @@ class TestTestingDoc:
         assert "architecture.md" in testing_doc
         assert "testing.md" in architecture_doc
         assert "docs/testing.md" in readme
+
+
+@pytest.fixture(scope="module")
+def observability_doc():
+    return (DOCS / "observability.md").read_text(encoding="utf-8")
+
+
+class TestObservabilityDoc:
+    def test_every_metric_name_documented(self, observability_doc):
+        from repro.obs.profiling import (
+            CAMPAIGN_METRIC_NAMES,
+            FUZZ_METRIC_NAMES,
+            SIMULATION_METRIC_NAMES,
+        )
+
+        names = (CAMPAIGN_METRIC_NAMES + FUZZ_METRIC_NAMES
+                 + SIMULATION_METRIC_NAMES)
+        missing = [n for n in names if f"`{n}`" not in observability_doc]
+        assert not missing, (
+            f"metrics missing from docs/observability.md: {missing}")
+
+    def test_cli_surfaces_documented_and_real(self, observability_doc):
+        from repro.cli import main
+
+        for surface in ("repro ledger list", "repro ledger show",
+                        "repro ledger diff", "repro ledger gc",
+                        "repro bench --check", "--progress",
+                        "--ledger-dir"):
+            assert surface.replace("repro ", "") in observability_doc, surface
+        # ...and the documented commands parse (argparse exits 2 on
+        # unknown commands/flags; these must not).
+        assert main(["ledger", "list", "--limit", "1"]) == 0
+        assert main(["bench"]) == 0
+
+    def test_ledger_facts_match_code(self, observability_doc):
+        from repro.obs.ledger import (
+            DEFAULT_LEDGER_ROOT,
+            LEDGER_DIR_ENV,
+            Ledger,
+        )
+
+        assert LEDGER_DIR_ENV in observability_doc
+        assert str(DEFAULT_LEDGER_ROOT) in observability_doc.replace(
+            ".repro/ledger/", ".repro/ledger ")
+        assert Ledger.FILENAME in observability_doc
+
+    def test_regression_defaults_match_code(self, observability_doc):
+        from repro.obs.regression import DEFAULT_THRESHOLD, DEFAULT_WINDOW
+
+        assert f"(default {DEFAULT_WINDOW})" in observability_doc
+        assert f"(default {DEFAULT_THRESHOLD})" in observability_doc
+        for floor in ("min_rate_floor", "seed_min_rate_floor",
+                      "min_warm_speedup_floor"):
+            assert f"`{floor}`" in observability_doc
+
+    def test_bench_files_documented_and_present(self, observability_doc):
+        from repro.obs.regression import BENCH_FILES
+
+        for name in BENCH_FILES:
+            assert f"`{name}`" in observability_doc
+            assert (ROOT / name).exists(), name
+
+    def test_referenced_modules_exist(self, observability_doc):
+        import importlib
+
+        for module in ("repro.obs.metrics", "repro.obs.ledger",
+                       "repro.obs.regression", "repro.obs.export"):
+            assert f"`{module}`" in observability_doc
+            importlib.import_module(module)

@@ -207,3 +207,116 @@ class TestMetricsExport:
         validate_metrics(json.loads(out.read_text(encoding="utf-8")))
         printed = capsys.readouterr().out
         assert "active" in printed and "attributed" in printed
+
+
+class TestSnapshotExporters:
+    """Degenerate-input hardening for the snapshot exporters."""
+
+    def test_empty_registry_prometheus_text(self):
+        from repro.obs.export import prometheus_text
+        from repro.obs.metrics import MetricsRegistry
+
+        assert prometheus_text(MetricsRegistry().snapshot()) == ""
+
+    def test_empty_registry_json_write(self, tmp_path):
+        from repro.obs.export import write_snapshot_json
+        from repro.obs.metrics import MetricsRegistry
+
+        path = tmp_path / "snapshot.json"
+        payload = write_snapshot_json(path, MetricsRegistry().snapshot())
+        assert payload["metrics"] == {}
+        assert json.loads(path.read_text()) == payload
+
+    def test_empty_trace_chrome_trace(self):
+        payload = chrome_trace([])
+        validate_chrome_trace(payload)
+        assert payload["traceEvents"] == []
+
+    def test_unicode_workload_labels_round_trip(self, tmp_path):
+        from repro.obs.export import prometheus_text, write_snapshot_json
+        from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+
+        registry = MetricsRegistry()
+        registry.counter("campaign_cells_total").inc(
+            2, {"workload": "göç-程序"})
+        snapshot = registry.snapshot()
+
+        text = prometheus_text(snapshot)
+        assert 'workload="göç-程序"' in text
+
+        path = tmp_path / "snapshot.json"
+        write_snapshot_json(path, snapshot)
+        raw = path.read_text(encoding="utf-8")
+        assert "göç-程序" in raw  # ensure_ascii=False: no \u escapes
+        clone = MetricsSnapshot.from_dict(json.loads(raw))
+        assert clone == snapshot
+
+    def test_label_values_escaped(self):
+        from repro.obs.export import prometheus_text
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc(1, {"name": 'a"b\\c\nd'})
+        assert '{name="a\\"b\\\\c\\nd"}' in prometheus_text(registry.snapshot())
+
+    def test_histogram_exposition_is_cumulative(self):
+        from repro.obs.export import prometheus_text
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 9.0):
+            histogram.observe(value)
+        text = prometheus_text(registry.snapshot())
+        assert 'h_bucket{le="1"} 1' in text
+        assert 'h_bucket{le="2"} 2' in text
+        assert 'h_bucket{le="+Inf"} 3' in text
+        assert "h_count 3" in text
+
+    def test_validate_rejects_foreign_payload(self):
+        from repro.obs.export import validate_snapshot_payload
+
+        with pytest.raises(ValueError):
+            validate_snapshot_payload({"kind": "not-a-snapshot"})
+
+
+class TestMergeOrderByteIdentical:
+    """Satellite acceptance: both exporters emit byte-identical output
+    for either merge order of two worker snapshots."""
+
+    def worker_snapshots(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        snapshots = []
+        for index, seconds in enumerate((0.125, 0.375)):
+            registry = MetricsRegistry()
+            registry.counter("campaign_cells_total").inc(
+                1, {"source": "simulated"})
+            registry.counter("sim_wall_seconds_total").inc(seconds)
+            registry.gauge("sim_ipc").set(1.0 + index)
+            registry.histogram(
+                "campaign_cell_seconds", buckets=(0.25,)).observe(seconds)
+            snapshots.append(registry.snapshot())
+        return snapshots
+
+    def test_prometheus_text_order_independent(self):
+        from repro.obs.export import prometheus_text
+        from repro.obs.metrics import MetricsSnapshot
+
+        a, b = self.worker_snapshots()
+        forward = prometheus_text(MetricsSnapshot.merge_all([a, b]))
+        reverse = prometheus_text(MetricsSnapshot.merge_all([b, a]))
+        assert forward == reverse
+        assert 'campaign_cells_total{source="simulated"} 2' in forward
+
+    def test_json_write_order_independent(self, tmp_path):
+        from repro.obs.export import write_snapshot_json
+        from repro.obs.metrics import MetricsSnapshot
+
+        a, b = self.worker_snapshots()
+        write_snapshot_json(tmp_path / "ab.json",
+                            MetricsSnapshot.merge_all([a, b]))
+        write_snapshot_json(tmp_path / "ba.json",
+                            MetricsSnapshot.merge_all([b, a]))
+        assert ((tmp_path / "ab.json").read_bytes()
+                == (tmp_path / "ba.json").read_bytes())

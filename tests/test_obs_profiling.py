@@ -75,3 +75,122 @@ class TestProfileRun:
         )
         assert stats.committed == 500
         assert tracer.emitted > 0
+
+
+class TestZeroDivisionGuards:
+    """Satellite regression tests: rate properties return 0.0 (never
+    raise ZeroDivisionError) when no wall time has accrued."""
+
+    def test_campaign_profile_rate_with_no_time(self):
+        from repro.obs.profiling import CampaignProfile
+
+        profile = CampaignProfile()
+        assert profile.wall_seconds == 0.0
+        assert profile.instructions_per_second == 0.0
+
+    def test_fuzz_profile_rate_with_no_time(self):
+        from repro.obs.profiling import FuzzProfile
+
+        profile = FuzzProfile()
+        assert profile.cases_per_second == 0.0
+
+    def test_profile_report_rates_with_no_time(self):
+        report = ProfileReport()
+        assert report.instructions_per_second == 0.0
+        assert report.cycles_per_second == 0.0
+
+
+class TestRegistryBackedCampaignProfile:
+    """The profile is a thin view over its metrics registry."""
+
+    def make_profile(self):
+        from repro.obs.profiling import CampaignProfile
+
+        profile = CampaignProfile(jobs=2, wall_seconds=2.0)
+        profile.note_cell("baseline/gcc", 0.0, 0, source="cache")
+        profile.note_cell("baseline/li", 1.0, 800)
+        return profile
+
+    def test_note_cell_feeds_registry(self):
+        profile = self.make_profile()
+        assert profile.cache_hits == 1
+        assert profile.simulated_cells == 1
+        assert profile.cell_count == 2
+        assert profile.simulated_instructions == 800
+        assert profile.instructions_per_second == 400.0
+        assert profile.registry.value(
+            "campaign_cells_total", {"source": "cache"}) == 1
+        assert profile.registry.value(
+            "campaign_instructions_total", {"source": "simulated"}) == 800
+
+    def test_pool_counters_are_registry_views(self):
+        profile = self.make_profile()
+        profile.retries += 1
+        profile.timeouts += 2
+        profile.serial_fallbacks += 1
+        assert profile.retries == 1
+        assert profile.registry.value("pool_retries_total") == 1
+        assert profile.registry.value("pool_timeouts_total") == 2
+        assert profile.registry.value("pool_serial_fallbacks_total") == 1
+
+    def test_to_dict_carries_metrics_snapshot(self):
+        payload = self.make_profile().to_dict()
+        assert payload["cache_hits"] == 1
+        assert payload["metrics"]["kind"] == "repro-metrics-snapshot"
+        assert "campaign_cells_total" in payload["metrics"]["metrics"]
+
+    def test_merge_worker_snapshot(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.profiling import CampaignProfile
+
+        worker = MetricsRegistry()
+        worker.counter("campaign_cells_total").inc(
+            3, {"source": "simulated"})
+        profile = CampaignProfile()
+        profile.merge_worker_snapshot(worker.snapshot().to_dict())
+        profile.merge_worker_snapshot(None)  # tolerated: no-op
+        assert profile.simulated_cells == 3
+
+    def test_format_metrics_matches_snapshot(self):
+        from repro.obs.metrics import format_snapshot
+
+        profile = self.make_profile()
+        assert profile.format_metrics() == format_snapshot(
+            profile.snapshot())
+
+
+class TestRegistryBackedFuzzProfile:
+    def test_note_case_feeds_registry(self):
+        from repro.obs.profiling import FuzzProfile
+
+        profile = FuzzProfile(wall_seconds=2.0)
+        profile.note_case("baseline", "random", 0.5, failed=False)
+        profile.note_case("clustered", "biased", 0.5, failed=True)
+        assert profile.cases == 2
+        assert profile.failures == 1
+        assert profile.cases_per_second == 1.0
+        assert profile.shape_counts == {"baseline": 1, "clustered": 1}
+        assert profile.kind_counts == {"biased": 1, "random": 1}
+        assert "metrics" in profile.to_dict()
+
+
+class TestSimulationMetrics:
+    def test_profile_simulation_records_into_registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        config = baseline_8way()
+        stats, report = profile_simulation(
+            config, get_trace("li", 600), registry=registry
+        )
+        labels = {"machine": config.name, "workload": "li"}
+        assert registry.value("sim_instructions_total",
+                              labels) == stats.committed
+        assert registry.value("sim_cycles_total", labels) == stats.cycles
+        assert registry.value("sim_wall_seconds_total", labels) > 0
+
+    def test_report_snapshot_includes_stage_histograms(self):
+        _, report = profile_simulation(baseline_8way(), get_trace("li", 600))
+        snapshot = report.snapshot()
+        assert "profile_stage_seconds_total" in snapshot.metrics
+        assert "sim_instructions_total" in snapshot.metrics

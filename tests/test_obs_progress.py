@@ -1,0 +1,142 @@
+"""Tests for heartbeats and the live ``--progress`` meter."""
+
+import io
+
+import pytest
+
+from repro.obs.progress import Heartbeat, ProgressMeter
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TtyStream(io.StringIO):
+    def isatty(self):
+        return True
+
+
+def meter(total=10, stream=None, unit="cells"):
+    clock = FakeClock()
+    return ProgressMeter(total, stream=stream, unit=unit, clock=clock), clock
+
+
+class TestHeartbeat:
+    def test_defaults(self):
+        beat = Heartbeat("baseline/gcc")
+        assert beat.source == "simulated"
+        assert beat.seconds == 0.0
+        assert beat.instructions == 0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Heartbeat("x").label = "y"
+
+
+class TestAccounting:
+    def test_counts_by_source(self):
+        m, _ = meter()
+        m.post(Heartbeat("a", source="cache"))
+        m.post(Heartbeat("b", source="simulated", instructions=1000))
+        m.post(Heartbeat("c", source="fail"))
+        assert m.done == 3
+        assert m.hits == 1
+        assert m.failures == 1
+        assert m.instructions == 1000
+        assert m.hit_rate == pytest.approx(1 / 3)
+
+    def test_rates_with_injected_clock(self):
+        m, clock = meter()
+        clock.now = 2.0
+        m.post(Heartbeat("a", instructions=500))
+        assert m.elapsed == 2.0
+        assert m.instructions_per_second == 250.0
+
+    def test_zero_division_guards(self):
+        m, _ = meter()
+        assert m.hit_rate == 0.0
+        assert m.instructions_per_second == 0.0
+
+    def test_negative_total_raises(self):
+        with pytest.raises(ValueError, match="total"):
+            ProgressMeter(-1)
+
+
+class TestEta:
+    def test_none_without_total_or_progress(self):
+        m, _ = meter(total=None)
+        m.post(Heartbeat("a"))
+        assert m.eta_seconds is None
+        m2, _ = meter(total=4)
+        assert m2.eta_seconds is None
+
+    def test_extrapolates_from_progress(self):
+        m, clock = meter(total=4)
+        clock.now = 2.0
+        m.post(Heartbeat("a"))
+        m.post(Heartbeat("b"))
+        assert m.eta_seconds == pytest.approx(2.0)
+
+    def test_zero_when_complete(self):
+        m, clock = meter(total=1)
+        clock.now = 1.0
+        m.post(Heartbeat("a"))
+        assert m.eta_seconds == 0.0
+
+
+class TestLine:
+    def test_contents(self):
+        m, clock = meter(total=40)
+        for i in range(12):
+            source = "cache" if i < 4 else "simulated"
+            m.post(Heartbeat(f"c{i}", source=source, instructions=10_000))
+        clock.now = 1.0
+        line = m.line()
+        assert line.startswith("12/40 cells")
+        assert "33% hits" in line
+        assert "120,000 inst/s" in line
+        assert "ETA" in line
+        assert "failed" not in line
+
+    def test_failures_and_unknown_total(self):
+        m, _ = meter(total=None, unit="cases")
+        m.post(Heartbeat("a", source="fail"))
+        line = m.line()
+        assert line.startswith("1 cases")
+        assert "1 failed" in line
+        assert "ETA" not in line
+
+
+class TestRendering:
+    def test_non_tty_silent_until_close(self):
+        stream = io.StringIO()
+        m, clock = meter(total=2, stream=stream)
+        m.post(Heartbeat("a"))
+        assert stream.getvalue() == ""
+        clock.now = 0.5
+        m.close()
+        output = stream.getvalue()
+        assert output.count("\n") == 1
+        assert "in 0.50s" in output
+        m.close()  # idempotent: still exactly one line
+        assert stream.getvalue() == output
+
+    def test_tty_rewrites_in_place(self):
+        stream = TtyStream()
+        m, _ = meter(total=2, stream=stream)
+        m.post(Heartbeat("a"))
+        m.post(Heartbeat("b"))
+        output = stream.getvalue()
+        assert output.count("\r\x1b[2K") == 2
+        assert "1/2 cells" in output
+        assert "2/2 cells" in output
+
+    def test_streamless_meter_keeps_accounting(self):
+        m, _ = meter(stream=None)
+        m.post(Heartbeat("a"))
+        m.close()
+        assert m.done == 1
