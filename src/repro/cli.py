@@ -20,8 +20,8 @@ Commands:
 * ``asm``        -- assemble, run, and optionally simulate a program.
 * ``fuzz``       -- differential fuzzing: sampled machines and
   programs cross-checked against the architectural oracle and the
-  reference pipeline (``--selftest`` plants a steering bug to prove
-  the harness works).
+  reference pipeline (``--selftest`` plants a steering bug and a
+  port-arbiter bug to prove the harness works).
 * ``ledger``     -- inspect the run ledger: the append-only JSONL
   history every simulate/campaign/frontier/fuzz invocation appends to
   (list/show/diff/gc).
@@ -65,6 +65,8 @@ MACHINES = {
     "random-steer": machines.clustered_random_8way,
     "modulo-steer": machines.clustered_modulo_8way,
     "least-loaded-steer": machines.clustered_least_loaded_8way,
+    "load-tracking": machines.load_tracking_8way,
+    "ports-limited": machines.ports_limited_8way,
 }
 
 
@@ -443,25 +445,31 @@ def _cmd_campaign(args) -> int:
 
 def _cmd_fuzz(args) -> int:
     from repro.verify.fuzzer import DEFAULT_REPRO_DIR, run_fuzz
-    from repro.verify.selftest import run_selftest
+    from repro.verify.selftest import run_port_selftest, run_selftest
 
     if args.selftest:
         import tempfile
 
         repro_dir = args.repro_dir or tempfile.mkdtemp(prefix="repro-selftest-")
-        result = run_selftest(
-            cases=args.cases, seed=args.seed, repro_dir=repro_dir
-        )
-        print("planted-bug self-test:")
-        print(result.report.profile.format_report())
-        if not result.detected:
-            print("  FAILED: planted steering bug was not detected",
-                  file=sys.stderr)
-            return 1
-        print(f"  detected the planted bug; minimized reproducer: "
-              f"{result.reproducer} "
-              f"({result.minimized_instructions} instructions)")
-        return 0
+        exit_code = 0
+        for label, runner in (
+            ("steering", run_selftest),
+            ("port-arbiter", run_port_selftest),
+        ):
+            result = runner(
+                cases=args.cases, seed=args.seed, repro_dir=repro_dir
+            )
+            print(f"planted {label}-bug self-test:")
+            print(result.report.profile.format_report())
+            if not result.detected:
+                print(f"  FAILED: planted {label} bug was not detected",
+                      file=sys.stderr)
+                exit_code = 1
+                continue
+            print(f"  detected the planted {label} bug; minimized "
+                  f"reproducer: {result.reproducer} "
+                  f"({result.minimized_instructions} instructions)")
+        return exit_code
 
     progress = None
     if args.verbose:
@@ -803,8 +811,9 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--metrics", default=None, metavar="PATH",
                       help="also write the FuzzProfile JSON")
     fuzz.add_argument("--selftest", action="store_true",
-                      help="plant a steering bug and assert the fuzzer "
-                           "detects and minimizes it")
+                      help="plant a steering bug and a port-arbiter bug "
+                           "and assert the fuzzer detects and minimizes "
+                           "both")
     fuzz.add_argument("-v", "--verbose", action="store_true",
                       help="per-case progress on stderr")
     fuzz.add_argument("--progress", action="store_true",

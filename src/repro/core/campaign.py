@@ -47,6 +47,7 @@ from repro.obs.progress import Heartbeat
 from repro.uarch.config import MachineConfig
 from repro.uarch.pipeline import simulate
 from repro.uarch.preanalysis import PREANALYSIS_VERSION
+from repro.uarch.scheduler import strategy_identity
 from repro.uarch.stats import SimStats
 from repro.workloads import WORKLOAD_NAMES, get_trace
 
@@ -113,9 +114,12 @@ def cache_key(
     The key covers everything that determines the simulation output:
     the full machine configuration, the workload, the instruction
     budget, the stats serialisation version (so a format bump
-    invalidates old entries instead of misreading them), and the
-    trace pre-analysis version (so a change to the derived arrays the
-    optimized simulator consumes invalidates old entries too).
+    invalidates old entries instead of misreading them), the trace
+    pre-analysis version (so a change to the derived arrays the
+    optimized simulator consumes invalidates old entries too), and
+    the scheduler/regfile strategy identity with behaviour versions
+    (so two configs differing only in strategy -- or a strategy whose
+    timing behaviour changed -- can never collide).
     """
     payload = {
         "config": config_fingerprint(config),
@@ -123,6 +127,7 @@ def cache_key(
         "max_instructions": max_instructions,
         "stats_format": stats_format,
         "preanalysis": PREANALYSIS_VERSION,
+        "strategies": strategy_identity(config),
     }
     digest = hashlib.sha256(
         json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
@@ -150,6 +155,10 @@ def grid_fingerprint(
         "max_instructions": max_instructions,
         "stats_format": results_io.FORMAT_VERSION,
         "preanalysis": PREANALYSIS_VERSION,
+        "strategies": {
+            name: strategy_identity(config)
+            for name, config in configs.items()
+        },
     }
     digest = hashlib.sha256(
         json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")

@@ -171,6 +171,46 @@ def clustered_least_loaded_8way(
     )
 
 
+def load_tracking_8way(window_size: int = 64, **overrides: Any) -> MachineConfig:
+    """Baseline geometry with the ``load_delay_tracking`` scheduler.
+
+    Diavastos & Carlson (arXiv:2109.03112): broadcast wakeup is
+    replaced by predicted ready times with real-time load-delay
+    feedback.  Consumers of a load predicted still in flight are held
+    out of select (``StallCause.SCHED_WAIT``); in exchange the window
+    logic drops its CAM, which the ``ldt_window_logic_ps`` delay model
+    converts into a faster clock.
+    """
+    return MachineConfig(
+        name=f"ldt-8way-{window_size}w",
+        clusters=(ClusterConfig(window_size=window_size, fu_count=8),),
+        steering=SteeringPolicy.NONE,
+        scheduler="load_delay_tracking",
+        **overrides,
+    )
+
+
+def ports_limited_8way(
+    read_ports: int = 4, window_size: int = 64, **overrides: Any
+) -> MachineConfig:
+    """Baseline geometry with a read-port-limited register file.
+
+    Los (arXiv:2502.00147): the fully-ported file (16 read ports for
+    8-way issue) is cut to ``read_ports`` per cluster; issue slots
+    that would oversubscribe the ports stall that cycle
+    (``StallCause.REGFILE_PORT``), and the regfile delay model sees
+    the smaller port count.
+    """
+    return MachineConfig(
+        name=f"ports-8way-{read_ports}r-{window_size}w",
+        clusters=(ClusterConfig(window_size=window_size, fu_count=8),),
+        steering=SteeringPolicy.NONE,
+        regfile="ports_limited",
+        regfile_read_ports=read_ports,
+        **overrides,
+    )
+
+
 def fig17_machines() -> dict[str, MachineConfig]:
     """The five Figure 17 machines, keyed by the paper's legend."""
     return {
@@ -195,6 +235,8 @@ MACHINE_REGISTRY = {
     "random": clustered_random_8way,
     "modulo": clustered_modulo_8way,
     "least_loaded": clustered_least_loaded_8way,
+    "load_tracking": load_tracking_8way,
+    "ports_limited": ports_limited_8way,
 }
 
 

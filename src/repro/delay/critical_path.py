@@ -120,6 +120,27 @@ def fifo_window_logic_ps(
     return wakeup + select_ps(tech, fifo_count)
 
 
+def ldt_window_logic_ps(
+    tech: Technology,
+    issue_width: int,
+    tag_count: int,
+    window_size: int,
+) -> float:
+    """The load-delay-tracking design's window-logic loop.
+
+    Diavastos & Carlson (arXiv:2109.03112) replace the broadcast CAM
+    with per-instruction ready-time countdowns: wakeup becomes an
+    indexed reservation-table update (the same RAM structure as the
+    dependence-based design, one entry per in-flight tag), while
+    selection still arbitrates over the whole flexible window.  The
+    clock gain over :func:`window_logic_ps` is exactly the CAM-vs-RAM
+    wakeup difference; the IPC cost of mispredicted ready times is
+    what the simulator's ``load_delay_tracking`` strategy measures.
+    """
+    wakeup = ReservationTableDelayModel(tech).total(issue_width, tag_count)
+    return wakeup + select_ps(tech, window_size)
+
+
 # ----------------------------------------------------------------------
 # per-structure delay entries, built from a MachineConfig
 # ----------------------------------------------------------------------
@@ -196,6 +217,7 @@ def _window_structure(
 ) -> tuple[StructureDelay, ...]:
     entries = []
     widths = config.cluster_issue_widths
+    load_delay_tracking = config.scheduler == "load_delay_tracking"
     for index, (cluster, width) in enumerate(zip(config.clusters, widths)):
         if cluster.uses_fifos:
             delay = fifo_window_logic_ps(
@@ -204,6 +226,14 @@ def _window_structure(
             label = (
                 f"cluster{index} reservation wakeup+select "
                 f"({width}-way, {cluster.fifo_count} FIFO heads)"
+            )
+        elif load_delay_tracking:
+            delay = ldt_window_logic_ps(
+                tech, width, config.reservation_tag_count, cluster.window_size
+            )
+            label = (
+                f"cluster{index} ready-time wakeup+select "
+                f"({width}-way/{cluster.window_size})"
             )
         else:
             delay = window_logic_ps(
@@ -249,9 +279,8 @@ def _regfile_structure(
 ) -> tuple[StructureDelay, ...]:
     model = RegisterFileDelayModel(tech)
     entries = []
-    widths = config.cluster_issue_widths
-    for index, (cluster, width) in enumerate(zip(config.clusters, widths)):
-        read_ports = 2 * width
+    ports = config.cluster_read_ports
+    for index, (cluster, read_ports) in enumerate(zip(config.clusters, ports)):
         write_ports = cluster.fu_count
         delay = model.total(config.int_phys_regs, read_ports, write_ports)
         entries.append(

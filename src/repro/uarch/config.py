@@ -43,6 +43,16 @@ class SteeringPolicy(enum.Enum):
     LEAST_LOADED = "least_loaded"  #: emptiest-window cluster choice (ablation)
 
 
+#: Valid ``MachineConfig.scheduler`` values.  Kept as literals here
+#: (rather than importing :data:`repro.uarch.scheduler.SCHEDULER_REGISTRY`)
+#: so the config layer stays import-cycle free; a registry test pins
+#: the two lists together.
+SCHEDULER_NAMES = ("conventional", "fifo_steering", "load_delay_tracking")
+
+#: Valid ``MachineConfig.regfile`` values (see ``SCHEDULER_NAMES``).
+REGFILE_NAMES = ("unlimited", "ports_limited")
+
+
 @dataclass(frozen=True)
 class PredictorConfig:
     """gshare predictor parameters (McFarling [13], Table 3)."""
@@ -179,6 +189,19 @@ class MachineConfig:
     cache: CacheConfig = field(default_factory=CacheConfig)
     predictor: PredictorConfig = field(default_factory=PredictorConfig)
     steering_seed: int = 12345  #: used only by random steering
+    #: Wakeup/select strategy (a :data:`SCHEDULER_NAMES` entry).  The
+    #: empty default derives the classic strategy from the cluster
+    #: geometry -- ``fifo_steering`` when any cluster uses FIFOs, else
+    #: ``conventional`` -- so every pre-existing config keeps its
+    #: behaviour without naming one.
+    scheduler: str = ""
+    #: Register-file port model (a :data:`REGFILE_NAMES` entry).  The
+    #: empty default derives ``ports_limited`` when
+    #: ``regfile_read_ports`` is set, else ``unlimited``.
+    regfile: str = ""
+    #: Per-cluster read ports for the ``ports_limited`` model; 0 means
+    #: the paper's fully-ported file (2 per issue slot).
+    regfile_read_ports: int = 0
 
     def __post_init__(self) -> None:
         for name in ("fetch_width", "dispatch_width", "issue_width", "retire_width",
@@ -220,6 +243,71 @@ class MachineConfig:
                 f"issue buffers could never fill, so the configured geometry "
                 f"is unreachable"
             )
+        self._normalize_strategies()
+
+    def _normalize_strategies(self) -> None:
+        """Derive/validate the scheduler and regfile strategy fields.
+
+        The derived classic scheduler is single-valued from the
+        cluster geometry, so an explicitly named classic strategy must
+        match it -- a FIFO machine running the ``conventional`` gather
+        path (or vice versa) would be a silently different machine
+        under the same geometry.
+        """
+        derived = (
+            "fifo_steering"
+            if any(c.uses_fifos for c in self.clusters)
+            else "conventional"
+        )
+        scheduler = self.scheduler or derived
+        if scheduler not in SCHEDULER_NAMES:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; valid: {SCHEDULER_NAMES}"
+            )
+        if scheduler in ("conventional", "fifo_steering"):
+            if scheduler != derived:
+                raise ValueError(
+                    f"scheduler {scheduler!r} contradicts the cluster "
+                    f"geometry (which implies {derived!r})"
+                )
+        elif scheduler == "load_delay_tracking":
+            # Predicted ready times replace the broadcast CAM of one
+            # flexible window; steered/FIFO variants are future work.
+            if (len(self.clusters) != 1 or self.clusters[0].uses_fifos
+                    or self.steering is not SteeringPolicy.NONE):
+                raise ValueError(
+                    "load_delay_tracking models a single unsteered "
+                    "window cluster"
+                )
+        object.__setattr__(self, "scheduler", scheduler)
+        regfile = self.regfile or (
+            "ports_limited" if self.regfile_read_ports > 0 else "unlimited"
+        )
+        if regfile not in REGFILE_NAMES:
+            raise ValueError(
+                f"unknown regfile {regfile!r}; valid: {REGFILE_NAMES}"
+            )
+        if regfile == "unlimited":
+            if self.regfile_read_ports != 0:
+                raise ValueError(
+                    "regfile_read_ports is meaningful only with the "
+                    "ports_limited regfile"
+                )
+        else:
+            # Stores and branches read two registers; fewer ports than
+            # that could never issue them.
+            if self.regfile_read_ports < 2:
+                raise ValueError(
+                    "ports_limited needs regfile_read_ports >= 2 "
+                    "(the widest instruction reads two registers)"
+                )
+            if self.steering is SteeringPolicy.EXEC_DRIVEN:
+                raise ValueError(
+                    "ports_limited is incompatible with EXEC_DRIVEN "
+                    "steering (issue slots are not bound to a cluster's "
+                    "register file until after selection)"
+                )
+        object.__setattr__(self, "regfile", regfile)
 
     @property
     def extra_bypass_latency(self) -> int:
@@ -252,6 +340,21 @@ class MachineConfig:
         return tuple(
             min(self.issue_width, c.fu_count) for c in self.clusters
         )
+
+    @property
+    def cluster_read_ports(self) -> tuple[int, ...]:
+        """Register-file read ports per cluster.
+
+        The paper's sizing is two ports per issue slot
+        (Section 5.5); the ``ports_limited`` model caps that at
+        ``regfile_read_ports``.  The delay models size the register
+        file's word lines from this, so the port reduction shows up
+        in the clock as well as in IPC.
+        """
+        full = tuple(2 * width for width in self.cluster_issue_widths)
+        if self.regfile != "ports_limited":
+            return full
+        return tuple(min(ports, self.regfile_read_ports) for ports in full)
 
     @property
     def reservation_tag_count(self) -> int:

@@ -61,7 +61,9 @@ from repro.uarch.depend import dependence_info
 from repro.uarch.fifos import FifoSet
 from repro.uarch.preanalysis import DEST_INT, preanalyze
 from repro.uarch.predictor import GshareBranchPredictor
+from repro.uarch.regfile_model import build_regfile
 from repro.uarch.rename import RegisterRenamer
+from repro.uarch.scheduler import build_scheduler, supports_reference
 from repro.uarch.stats import BACKPRESSURE_CAUSES, SimStats, StallCause
 from repro.uarch.steering import (
     FifoDispatchSteering,
@@ -99,10 +101,12 @@ _FETCH_BUFFER_FACTOR = 2
 #: structural contention first, then memory ordering, then bypass
 #: latency (higher rank wins a tie on blocked-instruction count).
 _ISSUE_BLOCK_RANK = {
+    StallCause.REGFILE_PORT: 5,
     StallCause.FU_CONTENTION: 4,
     StallCause.CACHE_PORT: 3,
     StallCause.LOAD_STORE_ORDER: 2,
     StallCause.INTER_CLUSTER_WAIT: 1,
+    StallCause.SCHED_WAIT: 0,
 }
 
 
@@ -156,7 +160,17 @@ class PipelineSimulator:
         self._fu_counts = [c.fu_count for c in config.clusters]
         self._cache_ports = config.cache.ports
         self._total_capacity = config.total_capacity
-        self.cycle_skip = cycle_skip
+        # Strategy objects: the wakeup/select scheduler and the
+        # register-file port model named by the config (see
+        # repro.uarch.scheduler / repro.uarch.regfile_model).
+        self.scheduler = build_scheduler(self)
+        self.regfile_model = build_regfile(self)
+        self._sched_on_load_issue = getattr(
+            self.scheduler, "on_load_issue", None
+        )
+        # A scheduler that holds candidates until cycles the event
+        # machinery does not schedule cannot skip idle cycles.
+        self.cycle_skip = cycle_skip and self.scheduler.supports_cycle_skip
         # A spinning cycle under random steering consumes RNG draws,
         # so skipping is legal only when no placement was attempted.
         self._skippable_steering = config.steering is not SteeringPolicy.RANDOM
@@ -268,6 +282,8 @@ class PipelineSimulator:
         self._room = [0] * self.n_clusters
         if self._steering is not None:
             self._steering.reset()
+        self.scheduler.reset()
+        self.regfile_model.reset()
 
     @property
     def free_int_regs(self) -> int:
@@ -391,60 +407,17 @@ class PipelineSimulator:
         return heap[0] if heap else None
 
     def _gather_candidates(self) -> list[tuple[int, int, int | None]]:
-        """Collect issue candidates as (seq, cluster, fifo_index)."""
-        issued = self.issued
-        if self._exec_driven:
-            heap = self.central_ready
-            drained = []
-            while heap:
-                seq = _heappop(heap)
-                if not issued[seq]:
-                    drained.append(seq)
-            return [(seq, -1, None) for seq in drained]
-        candidates: list[tuple[int, int, int | None]] = []
-        pending = self.pending
-        fifo_flags = self._cluster_fifo_flags
-        for cluster_index in range(self.n_clusters):
-            if fifo_flags[cluster_index]:
-                for fifo_index, fifo in enumerate(
-                    self.fifo_sets[cluster_index].fifos
-                ):
-                    entries = fifo._entries
-                    if entries:
-                        head = entries[0]
-                        counts = pending[head]
-                        if counts is not None and counts[cluster_index] == 0:
-                            candidates.append((head, cluster_index, fifo_index))
-            else:
-                heap = self.ready_heaps[cluster_index]
-                drained = []
-                while heap:
-                    seq = _heappop(heap)
-                    if not issued[seq]:
-                        drained.append(seq)
-                for seq in drained:
-                    candidates.append((seq, cluster_index, None))
-        if self.positional:
-            slot_of = self.slot_of
-            candidates.sort(
-                key=lambda item: (slot_of.get(item[0], item[0]), item[0])
-            )
-        else:
-            candidates.sort()
-        return candidates
+        """Collect issue candidates as (seq, cluster, fifo_index).
+
+        Thin delegation kept for tests/tools that probe the issue
+        stage directly; the issue loop itself calls the scheduler
+        strategy (which may additionally *hold* candidates back).
+        """
+        return self.scheduler.gather()[0]
 
     def _requeue(self, leftovers: list[tuple[int, int, int | None]]) -> None:
-        """Return unissued window candidates to their ready heaps."""
-        if self._exec_driven:
-            central_ready = self.central_ready
-            for seq, _cluster, _fifo in leftovers:
-                _heappush(central_ready, seq)
-            return
-        fifo_flags = self._cluster_fifo_flags
-        ready_heaps = self.ready_heaps
-        for seq, cluster, _fifo in leftovers:
-            if not fifo_flags[cluster]:
-                _heappush(ready_heaps[cluster], seq)
+        """Return unissued window candidates to their ready pools."""
+        self.scheduler.requeue(leftovers)
 
     def _pick_exec_cluster(
         self, seq: int, fu_budget: list[int]
@@ -493,6 +466,10 @@ class PipelineSimulator:
             tracer.emit(now, EventKind.SELECT, seq, cluster, detail=origin)
         if pre.is_load[seq]:
             latency = self._load_latency(seq)
+            on_load_issue = self._sched_on_load_issue
+            if on_load_issue is not None:
+                # Real-time load-delay feedback (load_delay_tracking).
+                on_load_issue(seq, latency)
         else:
             latency = self.config.fu_latency
             if pre.is_store[seq]:
@@ -591,7 +568,20 @@ class PipelineSimulator:
         is_load_flags = pre.is_load
         is_store_flags = pre.is_store
         issue_one = self._issue_one
-        for candidate in self._gather_candidates():
+        candidates, held = self.scheduler.gather()
+        if held:
+            # The scheduler refused to expose these to select (e.g. a
+            # predicted-unready consumer); charge and requeue them.
+            for candidate, cause in held:
+                blocked[cause] = blocked.get(cause, 0) + 1
+                leftovers.append(candidate)
+        regfile = self.regfile_model
+        ports_limited = regfile.limited
+        if ports_limited:
+            regfile.new_cycle()
+            read_budget = regfile.budget
+            reads_of = regfile.reads
+        for candidate in candidates:
             seq, cluster, fifo_index = candidate
             if budget == 0:
                 leftovers.append(candidate)
@@ -626,6 +616,15 @@ class PipelineSimulator:
                 )
                 leftovers.append(candidate)
                 continue
+            if ports_limited:
+                needed_reads = reads_of[seq]
+                if needed_reads > read_budget[cluster]:
+                    blocked[StallCause.REGFILE_PORT] = (
+                        blocked.get(StallCause.REGFILE_PORT, 0) + 1
+                    )
+                    leftovers.append(candidate)
+                    continue
+                read_budget[cluster] -= needed_reads
             issue_one(seq, cluster, fifo_index)
             budget -= 1
             fu_budget[cluster] -= 1
@@ -1058,7 +1057,15 @@ class PipelineSimulator:
             if resume >= cycle:
                 candidates.append(resume)
         if not candidates:
-            return  # wedged: spin to the bound like the reference
+            # Nothing scheduled can ever change the (provably idle)
+            # pipeline state again; the reference model would spin to
+            # the cycle bound and raise there, so failing now reports
+            # the same deadlock without the spin.
+            raise RuntimeError(
+                f"no forward progress possible at cycle {cycle}: no "
+                f"scheduled event remains "
+                f"({self.commit_ptr}/{n} committed) -- simulator bug"
+            )
         target = min(candidates)
         if target > max_cycles + 1:
             target = max_cycles + 1
@@ -1171,6 +1178,13 @@ def simulate(
     if not fast:
         from repro.uarch.pipeline_reference import simulate_reference
 
+        if not supports_reference(config):
+            raise ValueError(
+                f"the frozen reference model predates the strategy "
+                f"layer and covers only the classic schedulers with an "
+                f"unlimited regfile; {config.name!r} uses "
+                f"{config.scheduler}/{config.regfile}"
+            )
         return simulate_reference(config, trace, max_cycles=max_cycles,
                                   tracer=tracer)
     return PipelineSimulator(config, trace, tracer=tracer).run(

@@ -51,6 +51,12 @@ class StallCause(str, Enum):
     #: Issue blocked: operands have not yet crossed the inter-cluster
     #: bypass to a cluster with a free unit (execution-driven steering).
     INTER_CLUSTER_WAIT = "inter_cluster_wait"
+    #: Issue blocked: the register file ran out of read ports this
+    #: cycle (the ``ports_limited`` regfile model).
+    REGFILE_PORT = "regfile_port"
+    #: Issue blocked: the scheduler held a candidate past its
+    #: predicted ready time (the ``load_delay_tracking`` strategy).
+    SCHED_WAIT = "sched_wait"
     #: End of trace: fetch exhausted, pipeline draining to commit.
     DRAIN = "drain"
 

@@ -74,6 +74,7 @@ class FuzzCase:
     case_seed: int
     max_instructions: int = DEFAULT_CASE_INSTRUCTIONS
     fifo_only: bool = False
+    only_shapes: tuple[str, ...] | None = None
 
     @property
     def label(self) -> str:
@@ -86,11 +87,25 @@ def _simulate_both(config: MachineConfig, trace) -> tuple:
     # Imported late so the planted-bug self-test's monkeypatch of the
     # pipeline module is honoured even inside this module.
     from repro.uarch.pipeline import PipelineSimulator
+    from repro.uarch.scheduler import supports_reference
 
     fast = PipelineSimulator(config, trace)
-    fast_stats = fast.run()
-    reference_stats = ReferencePipelineSimulator(config, trace).run()
-    failures = compare_stats(fast_stats.to_dict(), reference_stats.to_dict())
+    try:
+        fast_stats = fast.run()
+    except RuntimeError as error:
+        # A deadlock (or cycle-bound overrun) is a first-class finding
+        # -- reported as a failure string so the minimizer can shrink
+        # the triggering program like any other check failure.
+        return fast, [f"fast simulator failed to complete: {error}"]
+    if supports_reference(config):
+        reference_stats = ReferencePipelineSimulator(config, trace).run()
+        failures = compare_stats(
+            fast_stats.to_dict(), reference_stats.to_dict()
+        )
+    else:
+        # The frozen reference predates the strategy layer; the new
+        # strategies are checked by the oracle + invariants only.
+        failures = []
     failures.extend(check_timing_invariants(fast, config, trace))
     return fast, failures
 
@@ -129,8 +144,16 @@ def build_case_inputs(case: FuzzCase):
         matching generator config.
     """
     rng = random.Random(case.case_seed)
-    shape, config = sample_machine(rng, fifo_only=case.fifo_only)
-    use_program = case.fifo_only or rng.random() < _PROGRAM_FRACTION
+    shape, config = sample_machine(
+        rng, fifo_only=case.fifo_only, only_shapes=case.only_shapes
+    )
+    # Self-test runs (shape-restricted) always use programs so the
+    # minimizer has a source to shrink.
+    use_program = (
+        case.fifo_only
+        or bool(case.only_shapes)
+        or rng.random() < _PROGRAM_FRACTION
+    )
     if use_program:
         return shape, config, "program", sample_program(rng)
     return shape, config, "synthetic", sample_synthetic(
@@ -244,6 +267,7 @@ def run_fuzz(
     max_instructions: int = DEFAULT_CASE_INSTRUCTIONS,
     repro_dir: str | Path = DEFAULT_REPRO_DIR,
     fifo_only: bool = False,
+    only_shapes: tuple[str, ...] | None = None,
     minimize: bool = True,
     max_minimized: int = 5,
     first_case: int = 0,
@@ -263,7 +287,9 @@ def run_fuzz(
         max_instructions: Dynamic-instruction cap per case.
         repro_dir: Where minimized reproducers are written.
         fifo_only: Restrict machine sampling to FIFO-steered shapes
-            (used by the planted-bug self-test).
+            (used by the planted steering-bug self-test).
+        only_shapes: Restrict machine sampling to these registry
+            shapes (used by the planted port-arbiter self-test).
         minimize: Shrink failures and emit reproducers.
         max_minimized: At most this many failures are minimized (the
             rest are reported unshrunk -- minimization is the
@@ -291,7 +317,7 @@ def run_fuzz(
     if case_seed is not None:
         queue = [FuzzCase(case_id=0, case_seed=case_seed,
                           max_instructions=max_instructions,
-                          fifo_only=fifo_only)]
+                          fifo_only=fifo_only, only_shapes=only_shapes)]
     else:
         queue = [
             FuzzCase(
@@ -299,6 +325,7 @@ def run_fuzz(
                 case_seed=derive_case_seed(seed, case_id),
                 max_instructions=max_instructions,
                 fifo_only=fifo_only,
+                only_shapes=only_shapes,
             )
             for case_id in range(first_case, first_case + cases)
         ]

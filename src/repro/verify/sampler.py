@@ -55,11 +55,18 @@ _SHAPE_GEOMETRY = {
         "window_size": (8, 16, 32),
         "inter_cluster_bypass_cycles": (1, 2, 3),
     },
+    "load_tracking": {"window_size": (16, 32, 64)},
+    "ports_limited": {
+        "read_ports": (2, 3, 4, 6),
+        "window_size": (16, 32, 64),
+    },
 }
 
 
 def sample_machine(
-    rng: random.Random, fifo_only: bool = False
+    rng: random.Random,
+    fifo_only: bool = False,
+    only_shapes: tuple[str, ...] | None = None,
 ) -> tuple[str, MachineConfig]:
     """Draw one (shape name, machine config) pair.
 
@@ -67,8 +74,15 @@ def sample_machine(
         rng: Seeded source of randomness (the only entropy used).
         fifo_only: Restrict to :data:`FIFO_SHAPES` (for the planted
             steering-bug self-test, which mutates FIFO steering).
+        only_shapes: Restrict to these registry shapes (the planted
+            port-arbiter self-test samples only ``ports_limited``).
     """
-    shapes = FIFO_SHAPES if fifo_only else tuple(sorted(MACHINE_REGISTRY))
+    if only_shapes:
+        shapes: tuple[str, ...] = only_shapes
+    elif fifo_only:
+        shapes = FIFO_SHAPES
+    else:
+        shapes = tuple(sorted(MACHINE_REGISTRY))
     shape = shapes[rng.randrange(len(shapes))]
     kwargs = {
         name: values[rng.randrange(len(values))]

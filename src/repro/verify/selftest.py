@@ -1,17 +1,25 @@
-"""Planted-bug self-test: prove the fuzzer can actually catch bugs.
+"""Planted-bug self-tests: prove the fuzzer can actually catch bugs.
 
 A verification harness that has never caught anything is an untested
-claim.  This module *plants* a realistic steering bug -- a FIFO
-dispatch heuristic that ignores the paper's behind-the-producer rule
--- into the **fast** pipeline only (the module-level
-``FifoDispatchSteering`` name that ``repro.uarch.pipeline`` binds at
-import is rebound for the duration; the reference pipeline imports its
-own copy from :mod:`repro.uarch.steering` and keeps the correct
-logic).  The fuzzer must then (a) detect the fast/reference stats
-divergence and (b) shrink a failing case to a small reproducer.
+claim.  This module *plants* two realistic bugs, one per strategy
+layer:
 
-The patch is process-local, so the self-test always runs with
-``jobs=1`` -- worker processes would import the unpatched module and
+* a **steering bug** -- a FIFO dispatch heuristic that ignores the
+  paper's behind-the-producer rule -- planted into the **fast**
+  pipeline only (the module-level ``FifoDispatchSteering`` name that
+  ``repro.uarch.pipeline`` binds at import is rebound for the
+  duration; the reference pipeline imports its own copy and keeps the
+  correct logic).  Caught by fast/reference stats divergence.
+* a **port-arbiter bug** -- a ``ports_limited`` register file whose
+  per-cycle read-port budget is never replenished, so issue starves
+  and the pipeline deadlocks.  The reference model does not cover the
+  ports_limited strategy, so this one must be caught by the fast
+  simulator's own failure checks (the no-forward-progress guard
+  surfaces as a failure string).
+
+Each bug must be (a) detected and (b) shrunk to a small reproducer.
+The patches are process-local, so the self-tests always run with
+``jobs=1`` -- worker processes would import the unpatched modules and
 see no bug.
 """
 
@@ -21,6 +29,8 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.uarch import pipeline as pipeline_mod
+from repro.uarch import regfile_model as regfile_mod
+from repro.uarch.regfile_model import PortsLimitedRegfile
 from repro.uarch.steering import FifoDispatchSteering, Placement
 from repro.verify.fuzzer import FuzzReport, run_fuzz
 
@@ -39,6 +49,28 @@ class PlantedSteeringBug(FifoDispatchSteering):
         placement = self._new_fifo(view)
         self.last_rule = "new_fifo" if placement is not None else ""
         return placement
+
+
+class PlantedPortArbiterBug(PortsLimitedRegfile):
+    """A read-port arbiter that never releases claimed ports.
+
+    ``new_cycle`` -- the per-cycle budget replenishment -- is a no-op,
+    so every read permanently consumes ports and issue eventually
+    starves: the classic leaked-resource arbiter bug.  The pipeline's
+    no-forward-progress guard turns the ensuing deadlock into a
+    failure the fuzzer reports and minimizes.
+    """
+
+    def reset(self) -> None:
+        # Grant the initial budget once per run (the correct model
+        # re-grants it every cycle).
+        ports = self.read_ports
+        budget = self.budget
+        for cluster in range(len(budget)):
+            budget[cluster] = ports
+
+    def new_cycle(self) -> None:
+        pass  # the planted leak: claimed ports are never freed
 
 
 @dataclass
@@ -84,6 +116,46 @@ def run_selftest(
         )
     finally:
         pipeline_mod.FifoDispatchSteering = original
+    minimized = [f for f in report.failures if f.reproducer is not None]
+    return SelfTestResult(
+        report=report,
+        detected=bool(report.failures),
+        minimized_instructions=(
+            minimized[0].minimized_instructions if minimized else None
+        ),
+        reproducer=minimized[0].reproducer if minimized else None,
+    )
+
+
+def run_port_selftest(
+    cases: int = 20,
+    seed: int = 1,
+    repro_dir: str | Path = "repros-selftest",
+    max_minimized: int = 1,
+) -> SelfTestResult:
+    """Plant the port-arbiter bug, fuzz ports_limited machines, report.
+
+    The ``ports_limited`` entry of
+    :data:`repro.uarch.regfile_model.REGFILE_REGISTRY` is swapped for
+    :class:`PlantedPortArbiterBug` for the duration (simulators look
+    the strategy up at construction time, so the swap takes effect
+    immediately) and sampling is restricted to the ``ports_limited``
+    registry shape so every case exercises the sabotaged arbiter.
+    """
+    original = regfile_mod.REGFILE_REGISTRY["ports_limited"]
+    regfile_mod.REGFILE_REGISTRY["ports_limited"] = PlantedPortArbiterBug
+    try:
+        report = run_fuzz(
+            cases=cases,
+            seed=seed,
+            jobs=1,  # the patch is process-local
+            repro_dir=repro_dir,
+            only_shapes=("ports_limited",),
+            minimize=True,
+            max_minimized=max_minimized,
+        )
+    finally:
+        regfile_mod.REGFILE_REGISTRY["ports_limited"] = original
     minimized = [f for f in report.failures if f.reproducer is not None]
     return SelfTestResult(
         report=report,

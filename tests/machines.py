@@ -4,19 +4,31 @@ One place that lists which machine shapes the suites run against,
 backed by the canonical registry in :mod:`repro.core.machines` -- the
 same registry :mod:`repro.verify.sampler` fuzzes over, so a shape
 added there is automatically picked up by the property tests, the
-fast/reference equivalence sweep, and the fuzzer.
+strategy-conformance harness, and the fuzzer.
 
 Keys are the registry's canonical shape names ("baseline",
 "dependence", "clustered", "clustered_windows", "exec_steer",
-"random", "modulo", "least_loaded"); values are zero-argument
-factories returning a fresh :class:`~repro.uarch.config.MachineConfig`.
+"random", "modulo", "least_loaded", "load_tracking",
+"ports_limited"); values are zero-argument factories returning a
+fresh :class:`~repro.uarch.config.MachineConfig`.
 """
 
 from repro.core.machines import MACHINE_REGISTRY
+from repro.uarch.scheduler import supports_reference
 
-#: Every registered shape (all eight): the full-coverage sweep used by
-#: the fast-vs-reference equivalence tests.
+#: Every registered shape (all ten): the full-coverage sweep used by
+#: the strategy-conformance harness.
 ALL_MACHINES = dict(MACHINE_REGISTRY)
+
+#: The shapes the frozen reference model covers (classic schedulers,
+#: unlimited regfile): the fast-vs-reference equivalence sweep runs
+#: exactly these -- derived from the same predicate the fuzzer uses,
+#: so the two can never disagree about what the reference models.
+REFERENCE_MACHINES = {
+    name: factory
+    for name, factory in MACHINE_REGISTRY.items()
+    if supports_reference(factory())
+}
 
 
 def subset(*names: str) -> dict:

@@ -187,6 +187,38 @@ class TestCacheKey:
             baseline_8way(), "li", N
         )
 
+    def test_key_changes_with_scheduler_strategy(self):
+        # Identical geometry, different issue logic: the strategy
+        # identity keeps the cells apart even if the fingerprint ever
+        # stopped covering the strategy fields.
+        from repro.core.machines import load_tracking_8way
+
+        assert cache_key(baseline_8way(), "li", N) != cache_key(
+            load_tracking_8way(), "li", N
+        )
+
+    def test_key_changes_with_regfile_strategy(self):
+        from repro.core.machines import ports_limited_8way
+
+        # read_ports=16 never binds, so the *behaviour* matches the
+        # unlimited baseline -- but the model differs, and a future
+        # version bump of either must not serve stale entries.
+        assert cache_key(baseline_8way(), "li", N) != cache_key(
+            ports_limited_8way(read_ports=16), "li", N
+        )
+
+    def test_key_changes_with_strategy_version(self, monkeypatch):
+        from repro.uarch.scheduler import ConventionalScheduler, strategy_identity
+
+        before = cache_key(baseline_8way(), "li", N)
+        identity = strategy_identity(baseline_8way())
+        assert identity == "sched:conventional@1+regfile:unlimited@1"
+        monkeypatch.setattr(ConventionalScheduler, "version", 2)
+        assert strategy_identity(baseline_8way()).startswith(
+            "sched:conventional@2"
+        )
+        assert cache_key(baseline_8way(), "li", N) != before
+
     def test_fifo_geometry_is_single_valued_in_the_fingerprint(self):
         # ClusterConfig normalises window_size to the FIFO capacity,
         # so two spellings of the same geometry share a cache cell.

@@ -141,6 +141,67 @@ class TestRegistryCoverage:
             del DELAY_MODEL_REGISTRY["always-slow"]
 
 
+class TestStrategyShapePins:
+    """Clock pins for the post-reference strategy shapes.
+
+    ``load_tracking`` swaps the CAM wakeup for a ready-time RAM table
+    (Diavastos & Carlson), so its clock must land strictly between the
+    conventional window and the FIFO dependence scheme.
+    ``ports_limited`` only constrains register-file ports -- a
+    structure that is pipelined and never clock-bounding -- so its
+    clock is byte-identical to the baseline's.
+    """
+
+    #: tech -> load_delay_tracking window-logic clock (8-way/64).
+    LDT_CLOCK_PS = {TECH_080: 3131.5, TECH_035: 1205.8, TECH_018: 611.7}
+
+    @pytest.mark.parametrize("tech", TECHNOLOGIES, ids=lambda t: t.name)
+    def test_load_tracking_clock_pinned(self, tech):
+        config = MACHINE_REGISTRY["load_tracking"]()
+        assert clock_ps(config, tech) == pytest.approx(
+            self.LDT_CLOCK_PS[tech], abs=0.05
+        )
+
+    @pytest.mark.parametrize("tech", TECHNOLOGIES, ids=lambda t: t.name)
+    def test_load_tracking_between_window_and_fifo(self, tech):
+        ldt = clock_ps(MACHINE_REGISTRY["load_tracking"](), tech)
+        conventional = clock_ps(MACHINE_REGISTRY["baseline"](), tech)
+        fifo = clock_ps(MACHINE_REGISTRY["dependence"](), tech)
+        assert fifo < ldt < conventional
+
+    @pytest.mark.parametrize("tech", TECHNOLOGIES, ids=lambda t: t.name)
+    def test_ports_limited_clock_equals_baseline(self, tech):
+        ports = clock_ps(MACHINE_REGISTRY["ports_limited"](), tech)
+        baseline = clock_ps(MACHINE_REGISTRY["baseline"](), tech)
+        assert ports == pytest.approx(baseline, abs=1e-9)
+
+    def test_ports_limited_regfile_shrinks_with_port_budget(self):
+        # Halving the read ports must shrink the (non-bounding)
+        # regfile structure delay while the clock stays put.
+        wide = critical_path(MACHINE_REGISTRY["ports_limited"](), TECH_018)
+        narrow = critical_path(
+            MACHINE_REGISTRY["ports_limited"](read_ports=2), TECH_018
+        )
+        wide_rf = [s for s in wide.structures if s.structure == "regfile"]
+        narrow_rf = [s for s in narrow.structures if s.structure == "regfile"]
+        assert narrow_rf[0].delay_ps < wide_rf[0].delay_ps
+        assert narrow.clock_ps == pytest.approx(wide.clock_ps)
+
+    def test_load_tracking_window_label_names_ready_time_logic(self):
+        path = critical_path(MACHINE_REGISTRY["load_tracking"](), TECH_018)
+        windows = [s for s in path.structures if s.structure == "window"]
+        assert len(windows) == 1
+        assert "ready-time" in windows[0].label
+
+    def test_strategy_name_tuples_match_registries(self):
+        from repro.uarch.config import REGFILE_NAMES, SCHEDULER_NAMES
+        from repro.uarch.regfile_model import REGFILE_REGISTRY
+        from repro.uarch.scheduler import SCHEDULER_REGISTRY
+
+        assert tuple(SCHEDULER_REGISTRY) == SCHEDULER_NAMES
+        assert tuple(REGFILE_REGISTRY) == REGFILE_NAMES
+
+
 class TestAccounting:
     def test_bypass_never_bounds_the_clock(self):
         # At 0.8 um the baseline's bypass (1056 ps there too, it is

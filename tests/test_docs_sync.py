@@ -315,3 +315,78 @@ class TestObservabilityDoc:
                        "repro.obs.regression", "repro.obs.export"):
             assert f"`{module}`" in observability_doc
             importlib.import_module(module)
+
+
+@pytest.fixture(scope="module")
+def microarch_doc():
+    return (DOCS / "microarchitectures.md").read_text(encoding="utf-8")
+
+
+class TestMicroarchDoc:
+    def test_every_registered_shape_documented(self, microarch_doc):
+        from repro.core.machines import MACHINE_REGISTRY
+
+        missing = [
+            shape for shape in MACHINE_REGISTRY
+            if f"`{shape}`" not in microarch_doc
+        ]
+        assert not missing, (
+            f"shapes missing from docs/microarchitectures.md: {missing}")
+
+    def test_every_machine_name_documented(self, microarch_doc):
+        # The doc's shape table carries the config's .name -- the
+        # label that appears in campaign results and the ledger.
+        from repro.core.machines import MACHINE_REGISTRY
+
+        missing = [
+            factory().name for factory in MACHINE_REGISTRY.values()
+            if f"`{factory().name}`" not in microarch_doc
+        ]
+        assert not missing, f"machine names out of sync: {missing}"
+
+    def test_every_strategy_name_documented(self, microarch_doc):
+        from repro.uarch.config import REGFILE_NAMES, SCHEDULER_NAMES
+
+        for name in SCHEDULER_NAMES + REGFILE_NAMES:
+            assert f"`{name}`" in microarch_doc, name
+
+    def test_documented_stall_causes_are_real(self, microarch_doc):
+        from repro.uarch.stats import StallCause
+
+        values = {cause.value for cause in StallCause}
+        assert "sched_wait" in values and "`sched_wait`" in microarch_doc
+        assert "regfile_port" in values and "`regfile_port`" in microarch_doc
+
+    def test_documented_symbols_exist(self, microarch_doc):
+        from repro.delay.critical_path import ldt_window_logic_ps  # noqa: F401
+        from repro.uarch.scheduler import (  # noqa: F401
+            strategy_identity,
+            supports_reference,
+        )
+
+        for symbol in ("strategy_identity", "supports_reference",
+                       "ldt_window_logic_ps",
+                       "_normalize_strategies"):
+            assert symbol in microarch_doc, symbol
+
+    def test_referenced_files_exist(self, microarch_doc):
+        import re
+
+        for path in re.findall(r"`(src/[\w/]+\.py|tests/[\w/]+\.py)`",
+                               microarch_doc):
+            assert (ROOT / path).exists(), path
+
+    def test_default_read_ports_match_factory(self, microarch_doc):
+        import inspect
+
+        from repro.core.machines import ports_limited_8way
+
+        default = inspect.signature(
+            ports_limited_8way).parameters["read_ports"].default
+        assert f"(default {default};" in microarch_doc
+
+    def test_cross_links(self, microarch_doc, architecture_doc, readme):
+        assert "architecture.md" in microarch_doc
+        assert "design_space.md" in microarch_doc
+        assert "microarchitectures.md" in architecture_doc
+        assert "docs/microarchitectures.md" in readme

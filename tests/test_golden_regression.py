@@ -38,6 +38,12 @@ GOLDEN_IPC = {
     ("least_loaded", "compress"): 1.641,
     ("least_loaded", "m88ksim"): 2.414,
     ("random", "m88ksim"): 2.471,
+    ("load_tracking", "compress"): 2.148,
+    ("load_tracking", "gcc"): 3.058,
+    ("load_tracking", "m88ksim"): 3.546,
+    ("ports_limited", "compress"): 1.857,
+    ("ports_limited", "gcc"): 2.554,
+    ("ports_limited", "m88ksim"): 2.825,
 }
 
 FACTORIES = ALL_MACHINES

@@ -2,8 +2,10 @@
 
 Covers case derivation (determinism, replay), the serial and parallel
 execution paths, budget handling, and the end-to-end planted-bug
-self-test -- the proof that the fuzzer detects and minimizes a real
-steering bug (acceptance: reproducer at most 25 instructions).
+self-tests -- the proof that the fuzzer detects and minimizes both a
+steering bug (caught differentially against the reference) and a
+read-port arbiter bug (caught by the fast pipeline's own deadlock
+guard); acceptance: each reproducer at most 25 instructions.
 """
 
 import pytest
@@ -15,7 +17,7 @@ from repro.verify.fuzzer import (
     run_fuzz,
     run_fuzz_case,
 )
-from repro.verify.selftest import run_selftest
+from repro.verify.selftest import run_port_selftest, run_selftest
 
 
 def test_case_seeds_are_deterministic_and_distinct():
@@ -132,3 +134,54 @@ class TestPlantedBug:
         text = selftest.reproducer.read_text(encoding="utf-8")
         assert "--case-seed" in text
         assert "--fifo-only" in text
+
+
+class TestPlantedPortArbiterBug:
+    """The second planted bug: a leaked read-port budget.
+
+    The reference model does not cover ``ports_limited``, so the
+    fuzzer must catch this one without a differential oracle -- the
+    pipeline's no-forward-progress guard turns the deadlock into a
+    failure string, and the minimizer shrinks it like any other.
+    """
+
+    @pytest.fixture(scope="class")
+    def selftest(self, tmp_path_factory):
+        return run_port_selftest(
+            cases=10, seed=1,
+            repro_dir=tmp_path_factory.mktemp("port-repros"),
+        )
+
+    def test_bug_is_detected(self, selftest):
+        assert selftest.detected
+        assert not selftest.report.ok
+        first = selftest.report.failures[0]
+        assert any("forward progress" in f for f in first.failures)
+
+    def test_reproducer_is_small(self, selftest):
+        assert selftest.reproducer is not None
+        assert selftest.minimized_instructions is not None
+        assert selftest.minimized_instructions <= 25
+
+    def test_only_ports_limited_shapes_were_sampled(self, selftest):
+        assert set(selftest.report.profile.shape_counts) == {"ports_limited"}
+
+    def test_reproducer_passes_once_bug_is_gone(self, selftest):
+        """The registry swap is restored before returning, so the
+        emitted reproducer -- which reconstructs the ports_limited
+        config, strategy fields included -- must pass against the
+        healthy arbiter."""
+        namespace = {}
+        exec(compile(
+            selftest.reproducer.read_text(encoding="utf-8"),
+            str(selftest.reproducer), "exec",
+        ), namespace)
+        namespace["test_reproducer"]()  # must not raise
+
+    def test_registry_is_restored(self):
+        from repro.uarch.regfile_model import (
+            REGFILE_REGISTRY,
+            PortsLimitedRegfile,
+        )
+
+        assert REGFILE_REGISTRY["ports_limited"] is PortsLimitedRegfile
