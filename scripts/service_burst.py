@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Smoke-burst a running design-space service (the CI service gate).
+
+Points the shared load client at a server that is expected to be
+**warm** (started with ``repro serve --warm <grid>``) and asserts the
+serving-tier contract end to end:
+
+1. ``/v1/healthz`` answers and reports the expected machine count;
+2. a keep-alive burst over every machine's cell endpoints answers
+   all-200 at or above the committed warm-throughput floor
+   (``recorded.min_warm_qps_floor`` in ``BENCH_service.json``);
+3. the burst triggered **zero** simulations -- proven by diffing
+   ``service_simulations_total`` from ``/v1/metrics`` before/after.
+
+Exits nonzero (with a reason on stderr) when any of these fail.
+
+Usage:
+    python scripts/service_burst.py [--host H] [--port P]
+        [--requests N] [--concurrency C] [-n INSTRUCTIONS]
+        [--qps-floor QPS]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+from repro.service.loadgen import get_json, run_burst
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _metric_value(exposition: str, name: str) -> float:
+    """Sum every sample of ``name`` in a Prometheus exposition (0.0
+    when the metric has not been created yet)."""
+    total = 0.0
+    for line in exposition.splitlines():
+        if line.startswith(name) and not line.startswith("#"):
+            total += float(line.rsplit(None, 1)[-1])
+    return total
+
+
+def _committed_floor() -> float:
+    """The warm-qps floor checked into BENCH_service.json."""
+    payload = json.loads(
+        (REPO_ROOT / "BENCH_service.json").read_text(encoding="utf-8"))
+    return float(payload["recorded"]["min_warm_qps_floor"])
+
+
+async def burst(args) -> int:
+    status, health = await get_json(args.host, args.port, "/v1/healthz")
+    if status != 200:
+        print(f"FAIL healthz answered {status}: {health}", file=sys.stderr)
+        return 1
+    print(f"healthz: {health['machines']} machines, "
+          f"{health['pending_simulations']} pending simulations")
+
+    status, listing = await get_json(args.host, args.port, "/v1/machines")
+    assert status == 200, listing
+    budget = args.instructions or health["default_instructions"]
+    paths = [
+        f"/v1/cell?machine={m['name']}&workload={w}&n={budget}"
+        for m in listing["machines"]
+        for w in listing["workloads"]
+    ]
+
+    _, before = await get_json(args.host, args.port, "/v1/metrics")
+    sims_before = _metric_value(before["raw"], "service_simulations_total")
+
+    result = await run_burst(args.host, args.port, paths,
+                             requests=args.requests,
+                             concurrency=args.concurrency)
+    print(f"burst: {result.to_dict()}")
+
+    _, after = await get_json(args.host, args.port, "/v1/metrics")
+    sims_after = _metric_value(after["raw"], "service_simulations_total")
+
+    floor = args.qps_floor if args.qps_floor is not None else _committed_floor()
+    failures = []
+    if not result.all_ok:
+        failures.append(f"non-200 responses: {result.statuses}")
+    if sims_after != sims_before:
+        failures.append(
+            f"warm burst simulated {sims_after - sims_before:.0f} cells "
+            "(expected zero: is the cache warm for this -n budget?)")
+    if result.qps < floor:
+        failures.append(
+            f"warm throughput {result.qps:.0f} qps is below the "
+            f"committed floor {floor:.0f}")
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    if not failures:
+        print(f"OK {result.qps:.0f} qps warm (floor {floor:.0f}), "
+              f"zero simulations across {result.requests} requests")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="burst a warm design-space service and enforce the "
+                    "zero-simulation + throughput contract")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8787)
+    parser.add_argument("--requests", type=int, default=3000)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("-n", "--instructions", type=int, default=None,
+                        help="per-cell budget in the requests (default: "
+                             "the server's default budget)")
+    parser.add_argument("--qps-floor", type=float, default=None,
+                        help="override the BENCH_service.json floor")
+    return asyncio.run(burst(parser.parse_args()))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,10 @@ Commands:
   programs cross-checked against the architectural oracle and the
   reference pipeline (``--selftest`` plants a steering bug and a
   port-arbiter bug to prove the harness works).
+* ``serve``      -- design-space-as-a-service: a long-running asyncio
+  HTTP/JSON server over the campaign cache (frontier / cell / delay /
+  machines / healthz / metrics endpoints, coalesced misses, bounded
+  simulation queue; ``--warm`` pre-fills the cache first).
 * ``ledger``     -- inspect the run ledger: the append-only JSONL
   history every simulate/campaign/frontier/fuzz invocation appends to
   (list/show/diff/gc).
@@ -443,6 +447,56 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.core.machines import machine_registry
+    from repro.service.app import DesignSpaceService
+
+    if args.warm:
+        from repro.core.campaign import ResultCache, run_campaign
+
+        if args.warm == "registry":
+            configs = machine_registry()
+        else:
+            configs = experiments.figure_configs(args.warm)
+        meter = _progress_meter(args.progress,
+                                len(configs) * len(WORKLOAD_NAMES), "cells")
+        print(f"warming {args.warm} grid "
+              f"({len(configs)} machines x {len(WORKLOAD_NAMES)} workloads, "
+              f"n={args.instructions}) into {args.cache_dir} ...")
+        try:
+            _, profile = run_campaign(
+                configs,
+                max_instructions=args.instructions,
+                name=f"warm-{args.warm}",
+                jobs=args.jobs,
+                cache=ResultCache(args.cache_dir),
+                heartbeat=meter.post if meter else None,
+            )
+        finally:
+            if meter:
+                meter.close()
+        print(f"  cache warm: {profile.cache_hits} hits, "
+              f"{profile.simulated_cells} simulated")
+    service = DesignSpaceService(
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        queue_depth=args.queue_depth,
+        request_timeout=args.timeout,
+        instructions=args.instructions,
+    )
+    print(f"serving the design space on http://{args.host}:{args.port} "
+          f"(jobs={args.jobs}, queue depth {args.queue_depth}); Ctrl-C stops")
+    try:
+        asyncio.run(service.serve(args.host, args.port))
+    except KeyboardInterrupt:
+        print("\n  shutting down")
+    finally:
+        service.close()
+    return 0
+
+
 def _cmd_fuzz(args) -> int:
     from repro.verify.fuzzer import DEFAULT_REPRO_DIR, run_fuzz
     from repro.verify.selftest import run_port_selftest, run_selftest
@@ -774,6 +828,36 @@ def build_parser() -> argparse.ArgumentParser:
     frontier.add_argument("--progress", action="store_true",
                           help="live telemetry line on stderr")
     frontier.set_defaults(func=_cmd_frontier)
+
+    serve = commands.add_parser(
+        "serve", help="serve the design space over HTTP (asyncio)"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="bind port (default 8787)")
+    serve.add_argument("--cache-dir", default=".repro-cache",
+                       help="campaign result cache backing the hot path "
+                            "(default .repro-cache)")
+    serve.add_argument("-j", "--jobs", type=int, default=1,
+                       help="simulation worker processes (default 1)")
+    serve.add_argument("--warm", default=None,
+                       choices=("fig13", "fig15", "fig17", "registry"),
+                       help="pre-warm the cache with a figure grid or the "
+                            "full machine registry before binding")
+    serve.add_argument("-n", "--instructions", type=int,
+                       default=DEFAULT_INSTRUCTIONS,
+                       help=f"default per-cell instruction budget "
+                            f"(default {DEFAULT_INSTRUCTIONS})")
+    serve.add_argument("--queue-depth", type=int, default=8,
+                       help="max concurrently in-flight simulations before "
+                            "misses are shed with 503 (default 8)")
+    serve.add_argument("--timeout", type=float, default=120.0,
+                       help="per-request seconds before an uncached cell "
+                            "answers 504 (default 120)")
+    serve.add_argument("--progress", action="store_true",
+                       help="live telemetry line on stderr while warming")
+    serve.set_defaults(func=_cmd_serve)
 
     asm = commands.add_parser("asm", help="assemble and run a program")
     asm.add_argument("file")

@@ -43,7 +43,7 @@ DEFAULT_LEDGER_ROOT = Path(".repro") / "ledger"
 LEDGER_DIR_ENV = "REPRO_LEDGER_DIR"
 
 #: Entry kinds the CLI records (the ledger accepts any string).
-RUN_KINDS = ("simulate", "campaign", "frontier", "fuzz", "bench")
+RUN_KINDS = ("simulate", "campaign", "frontier", "fuzz", "bench", "service")
 
 
 def ledger_root(root: str | Path | None = None) -> Path:

@@ -4,7 +4,8 @@ Compares the *current* measurements against two references:
 
 * the committed floors in the repo-root ``BENCH_*.json`` records --
   ``min_rate_floor`` / ``seed_min_rate_floor`` for simulator
-  throughput, ``min_warm_speedup_floor`` for the campaign cache --
+  throughput, ``min_warm_speedup_floor`` for the campaign cache,
+  ``min_warm_qps_floor`` for warm service throughput --
   which are hard gates (a measurement below its floor is a
   regression, full stop); and
 * the run ledger's trailing window -- the newest entry of each kind
@@ -32,7 +33,8 @@ DEFAULT_THRESHOLD = 0.5
 DEFAULT_WINDOW = 5
 
 #: The repo-root bench records the tracker reads.
-BENCH_FILES = ("BENCH_simulator.json", "BENCH_frontier.json")
+BENCH_FILES = ("BENCH_simulator.json", "BENCH_frontier.json",
+               "BENCH_service.json")
 
 
 @dataclass(frozen=True)
@@ -93,6 +95,24 @@ def check_frontier_bench(payload: dict) -> list[RegressionFinding]:
             source="floor",
             detail="warm/cold speedup below the committed "
                    "BENCH_frontier.json floor",
+        ))
+    return findings
+
+
+def check_service_bench(payload: dict) -> list[RegressionFinding]:
+    """Measured warm-serving throughput against the committed floor."""
+    findings: list[RegressionFinding] = []
+    measured = payload.get("measured", {})
+    floor = payload.get("recorded", {}).get("min_warm_qps_floor")
+    qps = measured.get("warm_qps")
+    if floor is not None and qps is not None and qps < floor:
+        findings.append(RegressionFinding(
+            subject="service warm-cache throughput",
+            measured=float(qps),
+            reference=float(floor),
+            source="floor",
+            detail="warm queries/sec below the committed "
+                   "BENCH_service.json floor",
         ))
     return findings
 
@@ -173,6 +193,8 @@ def check_all(
         load_bench(bench_dir / "BENCH_simulator.json"))
     findings.extend(check_frontier_bench(
         load_bench(bench_dir / "BENCH_frontier.json")))
+    findings.extend(check_service_bench(
+        load_bench(bench_dir / "BENCH_service.json")))
     if ledger is not None:
         findings.extend(check_trailing_window(
             ledger.entries(), threshold=threshold, window=window))

@@ -1,0 +1,44 @@
+"""Design-space-as-a-service: the HTTP/JSON serving tier.
+
+The campaign cache (PR 2) and the dedup'd design-point sweep (PR 5)
+made repeated design-space queries near-free; this package puts a
+long-running asyncio server in front of them, so "which organization
+is complexity-effective at this technology?" becomes a hot-path HTTP
+request and the simulator becomes the slow backing store behind it.
+
+Modules:
+
+* :mod:`repro.service.schema` -- the versioned, documented response
+  contract (routes, envelopes, structured errors);
+* :mod:`repro.service.coalescer` -- per-cache-key request coalescing
+  (N concurrent requests for one uncached cell, one simulation);
+* :mod:`repro.service.app` -- the :class:`DesignSpaceService` itself:
+  route handlers, the minimal HTTP layer, overload/timeout handling,
+  metrics, and ledger integration;
+* :mod:`repro.service.loadgen` -- the keep-alive burst client the
+  load-test bench, the CI smoke job, and operators share.
+
+The service contract is documented in ``docs/service.md`` and pinned
+by the ``TestServiceDoc`` sync suite.
+"""
+
+from repro.service.app import DesignSpaceService, ServiceError
+from repro.service.coalescer import Coalescer
+from repro.service.schema import (
+    ERROR_CODES,
+    ROUTES,
+    SERVICE_SCHEMA,
+    envelope,
+    error_body,
+)
+
+__all__ = [
+    "Coalescer",
+    "DesignSpaceService",
+    "ERROR_CODES",
+    "ROUTES",
+    "SERVICE_SCHEMA",
+    "ServiceError",
+    "envelope",
+    "error_body",
+]

@@ -1,0 +1,78 @@
+"""Per-key request coalescing for the serving tier.
+
+Two users asking for the same uncached design-space cell must trigger
+exactly one simulation.  The :class:`Coalescer` keeps one in-flight
+``asyncio.Task`` per cache key: the first request for a key becomes
+the *leader* and starts the work; every concurrent request for the
+same key *joins* the existing task instead of spawning its own.
+
+Joiners await the shared task through ``asyncio.shield``, so one
+impatient client timing out (or disconnecting) never cancels the
+simulation the other waiters -- and the cache -- are depending on.
+The task is removed from the in-flight table the moment it completes,
+success or failure; a failed simulation is never memoised, so the
+next request retries it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable
+
+
+class Coalescer:
+    """One in-flight task per key; later requests join, never fork."""
+
+    def __init__(self) -> None:
+        self._pending: dict[str, asyncio.Task] = {}
+
+    @property
+    def inflight(self) -> int:
+        """Number of distinct keys currently being computed."""
+        return len(self._pending)
+
+    def is_inflight(self, key: str) -> bool:
+        """True when a task for ``key`` is already running (a request
+        for it would *join*, adding no new work)."""
+        return key in self._pending
+
+    def task_for(
+        self, key: str, factory: Callable[[], Awaitable[Any]]
+    ) -> tuple[asyncio.Task, bool]:
+        """The single in-flight task for ``key``.
+
+        Returns ``(task, leader)``: ``leader`` is True when this call
+        created the task (i.e. this request triggered the work) and
+        False when it joined an existing one.  ``factory`` is only
+        invoked on the leader path.
+        """
+        task = self._pending.get(key)
+        if task is not None:
+            return task, False
+        task = asyncio.get_running_loop().create_task(factory())
+        self._pending[key] = task
+        task.add_done_callback(lambda done: self._reap(key, done))
+        return task, True
+
+    def _reap(self, key: str, task: asyncio.Task) -> None:
+        self._pending.pop(key, None)
+        if not task.cancelled():
+            # Retrieve the exception (if any) so an errored simulation
+            # whose waiters all timed out never logs "exception was
+            # never retrieved"; waiters that are still attached get
+            # the exception through their own await.
+            task.exception()
+
+    async def join(self, key: str,
+                   factory: Callable[[], Awaitable[Any]],
+                   timeout: float | None = None) -> tuple[Any, bool]:
+        """Await the (possibly shared) result for ``key``.
+
+        Returns ``(result, leader)``.  The shared task is shielded:
+        a per-waiter ``timeout`` raises :class:`asyncio.TimeoutError`
+        for *this* waiter only, while the underlying work runs to
+        completion for everyone else (and for the cache).
+        """
+        task, leader = self.task_for(key, factory)
+        result = await asyncio.wait_for(asyncio.shield(task), timeout)
+        return result, leader

@@ -1,0 +1,139 @@
+"""Keep-alive load generation against a running design-space service.
+
+One small asyncio client, shared by three consumers so they all
+measure the same thing:
+
+* ``benchmarks/bench_service.py`` -- the cold/warm queries-per-second
+  bench behind ``BENCH_service.json``;
+* ``scripts/service_burst.py`` -- the CI smoke burst that asserts a
+  warm server answers without simulating;
+* operators -- quick ad-hoc "is it fast?" checks from a REPL.
+
+The client is deliberately minimal: HTTP/1.1 over persistent
+connections, ``concurrency`` workers each owning one socket, requests
+round-robined over ``paths``.  No external dependencies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BurstResult:
+    """Outcome of one :func:`run_burst` call."""
+
+    requests: int
+    seconds: float
+    statuses: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def qps(self) -> float:
+        """Completed requests per wall-clock second."""
+        return self.requests / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def all_ok(self) -> bool:
+        """True when every request answered 200."""
+        return self.statuses.get(200, 0) == self.requests
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "seconds": round(self.seconds, 6),
+            "qps": round(self.qps, 2),
+            "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+        }
+
+
+async def _read_response(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    """Read one HTTP/1.1 response off a persistent connection."""
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed the connection")
+    status = int(status_line.split()[1])
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            content_length = int(value.strip())
+    body = await reader.readexactly(content_length) if content_length else b""
+    return status, body
+
+
+def _request_bytes(host: str, path: str) -> bytes:
+    return (f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+            "Connection: keep-alive\r\n\r\n").encode("latin-1")
+
+
+async def get_json(host: str, port: int, path: str,
+                   timeout: float = 30.0) -> tuple[int, dict]:
+    """One request on a fresh connection; returns ``(status, payload)``.
+
+    ``payload`` is the decoded JSON body (or ``{"raw": text}`` for
+    non-JSON responses such as ``/v1/metrics``).
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(_request_bytes(host, path))
+        await writer.drain()
+        status, body = await asyncio.wait_for(
+            _read_response(reader), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, OSError):
+            pass
+    text = body.decode("utf-8", errors="replace")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        payload = {"raw": text}
+    return status, payload
+
+
+async def _worker(host: str, port: int, paths: list[str], count: int,
+                  offset: int, statuses: dict[int, int]) -> None:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for i in range(count):
+            path = paths[(offset + i) % len(paths)]
+            writer.write(_request_bytes(host, path))
+            await writer.drain()
+            status, _ = await _read_response(reader)
+            statuses[status] = statuses.get(status, 0) + 1
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, OSError):
+            pass
+
+
+async def run_burst(host: str, port: int, paths: list[str],
+                    requests: int = 1000,
+                    concurrency: int = 8) -> BurstResult:
+    """Fire ``requests`` keep-alive GETs across ``concurrency``
+    persistent connections; returns throughput and status counts."""
+    if not paths:
+        raise ValueError("paths must name at least one target")
+    concurrency = max(1, min(concurrency, requests))
+    statuses: dict[int, int] = {}
+    share, remainder = divmod(requests, concurrency)
+    counts = [share + (1 if i < remainder else 0)
+              for i in range(concurrency)]
+    started = time.perf_counter()
+    await asyncio.gather(*[
+        _worker(host, port, paths, count, i * share, statuses)
+        for i, count in enumerate(counts) if count
+    ])
+    seconds = time.perf_counter() - started
+    return BurstResult(requests=requests, seconds=seconds,
+                       statuses=statuses)

@@ -94,7 +94,7 @@ class TestReadme:
 
     def test_architecture_sections_match_packages(self, readme):
         for package in ("technology", "circuits", "delay", "isa", "workloads",
-                        "uarch", "analysis", "report", "core"):
+                        "uarch", "analysis", "report", "core", "service"):
             assert f"{package}/" in readme
 
     def test_performance_section(self, readme):
@@ -315,6 +315,144 @@ class TestObservabilityDoc:
                        "repro.obs.regression", "repro.obs.export"):
             assert f"`{module}`" in observability_doc
             importlib.import_module(module)
+
+
+@pytest.fixture(scope="module")
+def service_doc():
+    return (DOCS / "service.md").read_text(encoding="utf-8")
+
+
+class TestServiceDoc:
+    def test_every_route_documented_and_no_phantom_routes(self, service_doc):
+        import re
+
+        from repro.service.schema import ROUTES
+
+        for route in ROUTES:
+            assert f"`{route}`" in service_doc, (
+                f"route {route!r} missing from docs/service.md")
+        # ...and every /v1/... path the doc typesets in backticks is a
+        # real route (prefix match covers parameterised examples).
+        for path in re.findall(r"`(/v1/[^`?]*)`", service_doc):
+            assert any(path == r or path.startswith(r.split("<")[0])
+                       for r in ROUTES), f"phantom route {path!r}"
+
+    def test_every_serve_flag_documented_and_real(self, service_doc):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        for flag in ("--host", "--port", "--cache-dir", "--jobs", "--warm",
+                     "--instructions", "--queue-depth", "--timeout",
+                     "--progress"):
+            assert f"`{flag}`" in service_doc, (
+                f"serve flag {flag} missing from docs/service.md")
+            attr = flag.lstrip("-").replace("-", "_")
+            assert hasattr(args, attr), f"{flag} not a serve CLI flag"
+
+    def test_schema_versions_documented(self, service_doc):
+        from repro.core import results_io
+        from repro.service.schema import SERVICE_SCHEMA
+
+        assert "SERVICE_SCHEMA" in service_doc
+        assert f"currently **{SERVICE_SCHEMA}**" in service_doc
+        assert "FORMAT_VERSION" in service_doc
+        assert f"currently\n  **{results_io.FORMAT_VERSION}**" \
+            in service_doc or \
+            f"currently **{results_io.FORMAT_VERSION}**" in service_doc
+        assert "stats_format" in service_doc
+
+    def test_every_metric_documented(self, service_doc):
+        from repro.service.app import SERVICE_METRIC_NAMES
+
+        missing = [n for n in SERVICE_METRIC_NAMES
+                   if f"`{n}`" not in service_doc]
+        assert not missing, (
+            f"metrics missing from docs/service.md: {missing}")
+
+    def test_every_error_code_documented(self, service_doc):
+        from repro.service.schema import ERROR_CODES
+
+        for status, code in ERROR_CODES.items():
+            assert f"`{code}`" in service_doc, code
+            assert str(status) in service_doc, status
+
+    def test_referenced_files_exist(self, service_doc):
+        for line in service_doc.splitlines():
+            for token in line.split("`"):
+                if token.startswith(("tests/", "benchmarks/", "scripts/",
+                                     "src/", "repro/")) \
+                        and "<" not in token and token.endswith(".py"):
+                    candidates = [ROOT / token, ROOT / "src" / token]
+                    assert any(c.exists() for c in candidates), (
+                        f"{token} referenced in docs/service.md but missing")
+
+    def test_bench_floor_matches_doc_and_record(self, service_doc):
+        import json
+
+        from benchmarks.bench_service import MIN_WARM_QPS  # noqa: PLC0415
+
+        assert "min_warm_qps_floor" in service_doc
+        assert "MIN_WARM_QPS" in service_doc
+        payload = json.loads(
+            (ROOT / "BENCH_service.json").read_text(encoding="utf-8"))
+        assert payload["recorded"]["min_warm_qps_floor"] == MIN_WARM_QPS
+        assert payload["measured"]["warm_qps"] >= MIN_WARM_QPS
+
+    def test_ledger_kind_is_registered(self, service_doc):
+        from repro.obs.ledger import RUN_KINDS
+
+        assert "service" in RUN_KINDS
+        assert "ledger list" in service_doc
+
+    def test_cross_links(self, service_doc, architecture_doc, readme):
+        assert "architecture.md" in service_doc
+        assert "observability.md" in service_doc
+        assert "service.md" in architecture_doc
+        assert "docs/service.md" in readme
+
+
+class TestDocsIndex:
+    @pytest.fixture(scope="class")
+    def index_doc(self):
+        return (DOCS / "index.md").read_text(encoding="utf-8")
+
+    def test_every_docs_file_listed(self, index_doc):
+        for path in sorted(DOCS.glob("*.md")):
+            if path.name == "index.md":
+                continue
+            assert f"({path.name})" in index_doc, (
+                f"docs/{path.name} missing from docs/index.md")
+
+    def test_every_listed_file_exists(self, index_doc):
+        import re
+
+        for target in re.findall(r"\]\(([\w./-]+\.md)\)", index_doc):
+            resolved = (DOCS / target).resolve()
+            assert resolved.exists(), (
+                f"docs/index.md links to {target} which does not exist")
+
+    def test_readme_links_the_index(self, readme):
+        assert "docs/index.md" in readme
+
+
+class TestDocLinks:
+    """Every relative link across docs/*.md and README.md resolves."""
+
+    @pytest.mark.parametrize(
+        "page", sorted(DOCS.glob("*.md")) + [ROOT / "README.md"],
+        ids=lambda p: p.name)
+    def test_relative_links_resolve(self, page):
+        import re
+
+        text = page.read_text(encoding="utf-8")
+        broken = []
+        for target in re.findall(r"\]\(([^)\s]+)\)", text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (page.parent / target.split("#")[0]).resolve()
+            if not resolved.exists():
+                broken.append(target)
+        assert not broken, f"broken relative links in {page.name}: {broken}"
 
 
 @pytest.fixture(scope="module")
