@@ -19,9 +19,10 @@ Commands:
   (worker pool, on-disk result cache, per-cell timeout/retry).
 * ``asm``        -- assemble, run, and optionally simulate a program.
 * ``fuzz``       -- differential fuzzing: sampled machines and
-  programs cross-checked against the architectural oracle and the
-  reference pipeline (``--selftest`` plants a steering bug and a
-  port-arbiter bug to prove the harness works).
+  programs cross-checked against the architectural oracle, the
+  reference pipeline, and the compiled pipeline (``--selftest``
+  plants a steering bug, a port-arbiter bug, and a compiler
+  constant-folding bug to prove the harness works).
 * ``serve``      -- design-space-as-a-service: a long-running asyncio
   HTTP/JSON server over the campaign cache (frontier / cell / delay /
   machines / healthz / metrics endpoints, coalesced misses, bounded
@@ -179,12 +180,23 @@ def _cmd_simulate(args) -> int:
     config = MACHINES[args.machine]()
     trace = get_trace(args.workload, args.instructions)
     start = time.perf_counter()
-    stats = run_simulation(config, trace)
+    stats = run_simulation(config, trace, mode=args.mode)
     seconds = time.perf_counter() - start
     print(stats.summary())
     registry = MetricsRegistry()
     record_simulation_metrics(registry, stats, seconds,
                               machine=config.name, workload=args.workload)
+    extra = {
+        "machine": args.machine,
+        "workload": args.workload,
+        "mode": args.mode,
+    }
+    if args.mode == "compiled":
+        from repro.obs.profiling import record_compile_metrics
+        from repro.uarch.compile import compile_cache_stats
+
+        extra["compile"] = compile_cache_stats()
+        record_compile_metrics(registry)
     _record_ledger(
         "simulate",
         wall_seconds=seconds,
@@ -192,7 +204,7 @@ def _cmd_simulate(args) -> int:
                                  if seconds > 0 else 0.0),
         config_hash=cache_key(config, args.workload, args.instructions),
         snapshot=registry.snapshot(),
-        extra={"machine": args.machine, "workload": args.workload},
+        extra=extra,
     )
     if args.verbose:
         print(f"  fetched {stats.fetched}, mispredicts {stats.mispredicts}, "
@@ -499,7 +511,11 @@ def _cmd_serve(args) -> int:
 
 def _cmd_fuzz(args) -> int:
     from repro.verify.fuzzer import DEFAULT_REPRO_DIR, run_fuzz
-    from repro.verify.selftest import run_port_selftest, run_selftest
+    from repro.verify.selftest import (
+        run_compile_selftest,
+        run_port_selftest,
+        run_selftest,
+    )
 
     if args.selftest:
         import tempfile
@@ -509,6 +525,7 @@ def _cmd_fuzz(args) -> int:
         for label, runner in (
             ("steering", run_selftest),
             ("port-arbiter", run_port_selftest),
+            ("compiler", run_compile_selftest),
         ):
             result = runner(
                 cases=args.cases, seed=args.seed, repro_dir=repro_dir
@@ -723,6 +740,12 @@ def build_parser() -> argparse.ArgumentParser:
                           default=DEFAULT_INSTRUCTIONS,
                           help=f"dynamic instructions "
                                f"(default {DEFAULT_INSTRUCTIONS})")
+    simulate.add_argument("--mode", choices=("reference", "fast", "compiled"),
+                          default="compiled",
+                          help="simulator model: the frozen reference, the "
+                               "fast interpreter, or the per-config compiled "
+                               "pipeline (default; falls back to fast on "
+                               "unsupported shapes)")
     simulate.add_argument("-v", "--verbose", action="store_true")
     simulate.set_defaults(func=_cmd_simulate)
 
@@ -869,7 +892,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     fuzz = commands.add_parser(
         "fuzz",
-        help="differential fuzzing: emulator vs oracle, fast vs reference",
+        help="differential fuzzing: emulator vs oracle, "
+             "fast vs reference vs compiled",
     )
     fuzz.add_argument("--cases", type=int, default=200,
                       help="fuzz cases to run (default 200)")
@@ -895,9 +919,9 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--metrics", default=None, metavar="PATH",
                       help="also write the FuzzProfile JSON")
     fuzz.add_argument("--selftest", action="store_true",
-                      help="plant a steering bug and a port-arbiter bug "
-                           "and assert the fuzzer detects and minimizes "
-                           "both")
+                      help="plant a steering bug, a port-arbiter bug, and "
+                           "a compiler constant-folding bug and assert the "
+                           "fuzzer detects and minimizes all three")
     fuzz.add_argument("-v", "--verbose", action="store_true",
                       help="per-case progress on stderr")
     fuzz.add_argument("--progress", action="store_true",

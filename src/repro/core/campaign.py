@@ -44,6 +44,7 @@ from repro.core.experiments import DEFAULT_INSTRUCTIONS, ExperimentResult
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiling import CampaignProfile, record_simulation_metrics
 from repro.obs.progress import Heartbeat
+from repro.uarch.compile import COMPILE_VERSION
 from repro.uarch.config import MachineConfig
 from repro.uarch.pipeline import simulate
 from repro.uarch.preanalysis import PREANALYSIS_VERSION
@@ -127,6 +128,7 @@ def cache_key(
         "max_instructions": max_instructions,
         "stats_format": stats_format,
         "preanalysis": PREANALYSIS_VERSION,
+        "compile": COMPILE_VERSION,
         "strategies": strategy_identity(config),
     }
     digest = hashlib.sha256(
@@ -155,6 +157,7 @@ def grid_fingerprint(
         "max_instructions": max_instructions,
         "stats_format": results_io.FORMAT_VERSION,
         "preanalysis": PREANALYSIS_VERSION,
+        "compile": COMPILE_VERSION,
         "strategies": {
             name: strategy_identity(config)
             for name, config in configs.items()
@@ -236,7 +239,7 @@ def simulate_cell(cell: CampaignCell) -> dict:
     """
     start = time.perf_counter()
     trace = get_trace(cell.workload, cell.max_instructions)
-    stats = simulate(cell.config, trace)
+    stats = simulate(cell.config, trace, mode="compiled")
     seconds = time.perf_counter() - start
     registry = MetricsRegistry()
     record_simulation_metrics(registry, stats, seconds,

@@ -88,6 +88,49 @@ def record_simulation_metrics(registry, stats, seconds,
     ).set(stats.ipc, labels)
 
 
+#: Help strings for the pipeline-compiler gauges recorded by
+#: :func:`record_compile_metrics`.
+_COMPILE_GAUGE_HELP = {
+    "compile_runners_total": "Pipeline runners compiled this process",
+    "compile_cache_hits_total": "Compile-cache hits this process",
+    "compile_stale_discards_total":
+        "Stale/corrupted compile-cache entries discarded",
+    "compile_fallbacks_total":
+        "Unsupported-shape fallbacks to the fast interpreter",
+    "compile_seconds_total": "Wall-clock spent generating + exec-compiling",
+    "compile_cached_runners": "Runners currently memoized in the cache",
+}
+
+
+#: The pipeline-compiler gauge family (documented in
+#: docs/observability.md like the counter families above).
+COMPILE_METRIC_NAMES = tuple(_COMPILE_GAUGE_HELP)
+
+
+def record_compile_metrics(registry) -> None:
+    """Fold the pipeline compiler's cache activity into a registry.
+
+    Gauges, not counters: the compile cache is process-global and
+    cumulative, so per-run snapshots record its current state rather
+    than re-incrementing (which would double-count across runs and
+    make jobs=1 vs jobs=N campaign merges diverge -- which is also why
+    campaign workers deliberately do *not* ship these).
+    """
+    from repro.uarch.compile import compile_cache_stats
+
+    snapshot = compile_cache_stats()
+    for key, value in snapshot.items():
+        name = {
+            "compiles": "compile_runners_total",
+            "cache_hits": "compile_cache_hits_total",
+            "stale_discards": "compile_stale_discards_total",
+            "fallbacks": "compile_fallbacks_total",
+            "compile_seconds": "compile_seconds_total",
+            "cached_runners": "compile_cached_runners",
+        }[key]
+        registry.gauge(name, _COMPILE_GAUGE_HELP[name]).set(float(value))
+
+
 class _PoolCountersView:
     """Shared pool-degradation accounting over a registry.
 

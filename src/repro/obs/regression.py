@@ -59,14 +59,22 @@ def check_simulator_bench(payload: dict) -> list[RegressionFinding]:
 
     Fast-path entries must clear ``recorded.min_rate_floor``; the
     frozen reference model (labels containing ``"(reference)"``) must
-    clear ``recorded.seed_min_rate_floor``.
+    clear ``recorded.seed_min_rate_floor``; the compiled pipeline
+    (labels containing ``"(compiled)"``) must clear
+    ``recorded.compiled_min_rate_floor``.
     """
     findings: list[RegressionFinding] = []
     recorded = payload.get("recorded", {})
     fast_floor = recorded.get("min_rate_floor")
     seed_floor = recorded.get("seed_min_rate_floor")
+    compiled_floor = recorded.get("compiled_min_rate_floor")
     for label, rate in sorted(payload.get("measured", {}).items()):
-        floor = seed_floor if "(reference)" in label else fast_floor
+        if "(reference)" in label:
+            floor = seed_floor
+        elif "(compiled)" in label:
+            floor = compiled_floor
+        else:
+            floor = fast_floor
         if floor is None:
             continue
         if rate < floor:

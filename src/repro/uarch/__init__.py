@@ -9,6 +9,13 @@ pipeline: fetch (with gshare branch prediction), rename, dispatch with
 a steering policy, wakeup/select (flexible window or FIFO heads),
 execution with cache and store-set constraints, operand bypassing with
 per-cluster latencies, and in-order commit.
+
+Three interchangeable backends run the model: the frozen reference
+(:mod:`repro.uarch.pipeline_reference`), the fast interpreter
+(:mod:`repro.uarch.pipeline`), and per-config compiled step functions
+(:mod:`repro.uarch.compile`) -- select one with
+``simulate(..., mode=...)``; statistics are byte-identical across all
+three.
 """
 
 from repro.uarch.config import (

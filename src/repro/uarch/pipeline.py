@@ -1159,12 +1159,17 @@ class PipelineSimulator:
         return self.stats
 
 
+#: Valid ``simulate(..., mode=...)`` values.
+SIMULATE_MODES = ("reference", "fast", "compiled")
+
+
 def simulate(
     config: MachineConfig,
     trace: Trace,
     max_cycles: int | None = None,
     tracer: EventTracer | None = None,
     fast: bool = True,
+    mode: str | None = None,
 ) -> SimStats:
     """Run one machine over one trace and return its statistics.
 
@@ -1174,8 +1179,21 @@ def simulate(
         (:func:`repro.uarch.pipeline_reference.simulate_reference`)
         instead -- the oracle the equivalence suite pins this module
         against; results are identical, only slower.
+        mode: Explicit model selection overriding ``fast``:
+            ``"reference"`` (frozen seed model), ``"fast"`` (the
+            optimized interpreter), or ``"compiled"`` (the per-config
+            compiled pipeline from :mod:`repro.uarch.compile`, falling
+            back to the fast interpreter on unsupported shapes --
+            results are identical either way).
     """
-    if not fast:
+    if mode is None:
+        mode = "fast" if fast else "reference"
+    if mode not in SIMULATE_MODES:
+        raise ValueError(
+            f"unknown simulate mode {mode!r}; expected one of "
+            f"{', '.join(SIMULATE_MODES)}"
+        )
+    if mode == "reference":
         from repro.uarch.pipeline_reference import simulate_reference
 
         if not supports_reference(config):
@@ -1187,6 +1205,14 @@ def simulate(
             )
         return simulate_reference(config, trace, max_cycles=max_cycles,
                                   tracer=tracer)
+    if mode == "compiled":
+        from repro.uarch import compile as compile_mod
+
+        simulator = PipelineSimulator(config, trace, tracer=tracer)
+        if compile_mod.supports_compile(config):
+            return compile_mod.run_compiled(simulator, max_cycles=max_cycles)
+        compile_mod.note_fallback()
+        return simulator.run(max_cycles=max_cycles)
     return PipelineSimulator(config, trace, tracer=tracer).run(
         max_cycles=max_cycles
     )

@@ -83,9 +83,18 @@ class FuzzCase:
 
 
 def _simulate_both(config: MachineConfig, trace) -> tuple:
-    """Run fast and reference simulators; returns (fast_sim, failures)."""
-    # Imported late so the planted-bug self-test's monkeypatch of the
-    # pipeline module is honoured even inside this module.
+    """Run all simulator models; returns (fast_sim, failures).
+
+    Every case runs the fast interpreter; shapes the frozen reference
+    covers are compared against it byte-for-byte, and shapes the
+    pipeline compiler covers are additionally compared against the
+    compiled artifact -- so a miscompilation (wrong constant fold,
+    dropped branch, stale cache entry) is a first-class fuzz finding.
+    """
+    # Imported late so the planted-bug self-tests' monkeypatches of
+    # the pipeline/compile modules are honoured even inside this
+    # module.
+    from repro.uarch import compile as compile_mod
     from repro.uarch.pipeline import PipelineSimulator
     from repro.uarch.scheduler import supports_reference
 
@@ -106,6 +115,26 @@ def _simulate_both(config: MachineConfig, trace) -> tuple:
         # The frozen reference predates the strategy layer; the new
         # strategies are checked by the oracle + invariants only.
         failures = []
+    if compile_mod.supports_compile(config):
+        compiled_sim = PipelineSimulator(config, trace)
+        try:
+            compiled_stats = compile_mod.run_compiled(compiled_sim)
+        except RuntimeError as error:
+            failures.append(
+                f"compiled simulator failed to complete: {error}"
+            )
+        else:
+            fast_payload = fast_stats.to_dict()
+            compiled_payload = compiled_stats.to_dict()
+            if compiled_payload != fast_payload:
+                differing = {
+                    key: (compiled_payload.get(key), fast_payload.get(key))
+                    for key in set(compiled_payload) | set(fast_payload)
+                    if compiled_payload.get(key) != fast_payload.get(key)
+                }
+                failures.append(
+                    f"compiled/fast SimStats diverge: {differing}"
+                )
     failures.extend(check_timing_invariants(fast, config, trace))
     return fast, failures
 

@@ -1,8 +1,8 @@
 """Planted-bug self-tests: prove the fuzzer can actually catch bugs.
 
 A verification harness that has never caught anything is an untested
-claim.  This module *plants* two realistic bugs, one per strategy
-layer:
+claim.  This module *plants* three realistic bugs, one per layer the
+fuzz oracle guards:
 
 * a **steering bug** -- a FIFO dispatch heuristic that ignores the
   paper's behind-the-producer rule -- planted into the **fast**
@@ -16,6 +16,12 @@ layer:
   ports_limited strategy, so this one must be caught by the fast
   simulator's own failure checks (the no-forward-progress guard
   surfaces as a failure string).
+* a **compiler constant-folding bug** -- the pipeline compiler's
+  ``_PLANTED_BUG`` knob folds the load-miss latency branch down to
+  the hit latency, the classic dropped-branch miscompilation.  The
+  interpreter stays correct, so this one must be caught by the
+  compiled/fast stats comparison the fuzzer runs on every
+  compile-supported shape.
 
 Each bug must be (a) detected and (b) shrunk to a small reproducer.
 The patches are process-local, so the self-tests always run with
@@ -28,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.uarch import compile as compile_mod
 from repro.uarch import pipeline as pipeline_mod
 from repro.uarch import regfile_model as regfile_mod
 from repro.uarch.regfile_model import PortsLimitedRegfile
@@ -116,6 +123,50 @@ def run_selftest(
         )
     finally:
         pipeline_mod.FifoDispatchSteering = original
+    minimized = [f for f in report.failures if f.reproducer is not None]
+    return SelfTestResult(
+        report=report,
+        detected=bool(report.failures),
+        minimized_instructions=(
+            minimized[0].minimized_instructions if minimized else None
+        ),
+        reproducer=minimized[0].reproducer if minimized else None,
+    )
+
+
+def run_compile_selftest(
+    cases: int = 20,
+    seed: int = 1,
+    repro_dir: str | Path = "repros-selftest",
+    max_minimized: int = 1,
+) -> SelfTestResult:
+    """Plant the constant-folding bug, fuzz compiled shapes, report.
+
+    :data:`repro.uarch.compile._PLANTED_BUG` is set to
+    ``"load_hit_fold"`` for the duration: every runner generated while
+    it is set folds the load-miss latency to the hit latency.  The
+    knob is part of the compile-cache key and the cache is cleared on
+    both sides of the patch, so sabotaged runners can never leak into
+    (or survive from) clean runs.  Sampling is restricted to the
+    ``baseline`` registry shape -- the compiler's home turf -- and the
+    bug must surface as a compiled/fast SimStats divergence.
+    """
+    compile_mod.clear_compile_cache()
+    original = compile_mod._PLANTED_BUG
+    compile_mod._PLANTED_BUG = "load_hit_fold"
+    try:
+        report = run_fuzz(
+            cases=cases,
+            seed=seed,
+            jobs=1,  # the patch is process-local
+            repro_dir=repro_dir,
+            only_shapes=("baseline",),
+            minimize=True,
+            max_minimized=max_minimized,
+        )
+    finally:
+        compile_mod._PLANTED_BUG = original
+        compile_mod.clear_compile_cache()
     minimized = [f for f in report.failures if f.reproducer is not None]
     return SelfTestResult(
         report=report,

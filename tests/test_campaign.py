@@ -219,6 +219,19 @@ class TestCacheKey:
         )
         assert cache_key(baseline_8way(), "li", N) != before
 
+    def test_key_changes_with_compile_version(self, monkeypatch):
+        # Workers simulate with mode="compiled"; a codegen change
+        # bumps COMPILE_VERSION and must invalidate every cached cell,
+        # exactly like PREANALYSIS_VERSION before it.
+        import repro.core.campaign as campaign_mod
+
+        before = cache_key(baseline_8way(), "li", N)
+        monkeypatch.setattr(
+            campaign_mod, "COMPILE_VERSION",
+            campaign_mod.COMPILE_VERSION + 1,
+        )
+        assert cache_key(baseline_8way(), "li", N) != before
+
     def test_fifo_geometry_is_single_valued_in_the_fingerprint(self):
         # ClusterConfig normalises window_size to the FIFO capacity,
         # so two spellings of the same geometry share a cache cell.

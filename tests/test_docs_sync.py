@@ -144,6 +144,35 @@ class TestPerformanceDoc:
         assert baseline["after_inst_per_s"] >= 2 * recorded["seed_min_rate_floor"]
         assert baseline["after_inst_per_s"] >= 2 * baseline["before_inst_per_s"]
 
+    def test_compiled_section_names_the_real_pieces(self, performance_doc):
+        assert 'mode="compiled"' in performance_doc
+        assert "repro.uarch.compile" in performance_doc
+        assert "COMPILED_MIN_RATE" in performance_doc
+        assert "COMPILE_VERSION" in performance_doc
+        assert "tests/test_compile.py" in performance_doc
+
+    def test_compiled_bench_record_matches_floors(self):
+        # The compiled record must show the tentpole speedup (>= 2x
+        # the interpreter it replaced, whose rate is its "before"),
+        # and the committed floor must match the benchmark constant
+        # the regression gate routes "(compiled)" labels to.
+        import json
+
+        from benchmarks.bench_simulator_throughput import (  # noqa: PLC0415
+            COMPILED_MIN_RATE,
+            MIN_RATE,
+        )
+        payload = json.loads(
+            (ROOT / "BENCH_simulator.json").read_text(encoding="utf-8"))
+        recorded = payload["recorded"]
+        assert recorded["compiled_min_rate_floor"] == COMPILED_MIN_RATE
+        assert COMPILED_MIN_RATE == 2 * MIN_RATE
+        compiled = recorded["baseline_8way_compiled"]
+        assert compiled["before_inst_per_s"] == (
+            recorded["baseline_8way"]["after_inst_per_s"]
+        )
+        assert compiled["after_inst_per_s"] >= 2 * compiled["before_inst_per_s"]
+
     def test_cross_linked_from_architecture(self, architecture_doc):
         assert "performance.md" in architecture_doc
 
@@ -257,12 +286,13 @@ class TestObservabilityDoc:
     def test_every_metric_name_documented(self, observability_doc):
         from repro.obs.profiling import (
             CAMPAIGN_METRIC_NAMES,
+            COMPILE_METRIC_NAMES,
             FUZZ_METRIC_NAMES,
             SIMULATION_METRIC_NAMES,
         )
 
-        names = (CAMPAIGN_METRIC_NAMES + FUZZ_METRIC_NAMES
-                 + SIMULATION_METRIC_NAMES)
+        names = (CAMPAIGN_METRIC_NAMES + COMPILE_METRIC_NAMES
+                 + FUZZ_METRIC_NAMES + SIMULATION_METRIC_NAMES)
         missing = [n for n in names if f"`{n}`" not in observability_doc]
         assert not missing, (
             f"metrics missing from docs/observability.md: {missing}")
