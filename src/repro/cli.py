@@ -55,9 +55,13 @@ from repro.technology import TECHNOLOGIES, technology_by_feature_size
 from repro.uarch.pipeline import simulate as run_simulation
 from repro.workloads import (
     WORKLOAD_NAMES,
+    WORKLOAD_REGISTRY,
+    ZOO_NAMES,
     SyntheticConfig,
     get_trace,
+    register_external_trace,
     synthetic_trace,
+    workload_names,
 )
 
 #: CLI machine names -> factory functions.
@@ -158,13 +162,16 @@ def _cmd_machines(_args) -> int:
 
 
 def _cmd_workloads(args) -> int:
-    for name in WORKLOAD_NAMES:
+    names = workload_names(None if args.kind == "all" else args.kind)
+    for name in names:
+        workload = WORKLOAD_REGISTRY[name]
         trace = get_trace(name, args.instructions)
         if args.profile:
+            print(f"{name} [{workload.kind}] -- {workload.description}")
             print(profile_trace(trace).format_report())
             print()
         else:
-            print(f"  {name:10s} {len(trace)} insts, "
+            print(f"  {name:20s} {workload.kind:9s} {len(trace)} insts, "
                   f"{100 * trace.branch_fraction():.1f}% branches, "
                   f"{100 * trace.load_fraction():.1f}% loads")
     return 0
@@ -178,19 +185,44 @@ def _cmd_simulate(args) -> int:
     from repro.obs.profiling import record_simulation_metrics
 
     config = MACHINES[args.machine]()
-    trace = get_trace(args.workload, args.instructions)
+    if args.trace_file:
+        if args.workload:
+            print("repro simulate: error: give a workload name or "
+                  "--trace-file, not both", file=sys.stderr)
+            return 2
+        try:
+            workload = register_external_trace(
+                args.trace_file, replace=True
+            ).name
+        except (OSError, ValueError) as error:
+            print(f"repro simulate: error: {error}", file=sys.stderr)
+            return 2
+    elif args.workload:
+        workload = args.workload
+        if workload not in WORKLOAD_REGISTRY:
+            known = ", ".join(workload_names())
+            print(f"repro simulate: error: unknown workload "
+                  f"{workload!r} (known: {known})", file=sys.stderr)
+            return 2
+    else:
+        print("repro simulate: error: a workload name (see 'repro "
+              "workloads') or --trace-file is required", file=sys.stderr)
+        return 2
+    trace = get_trace(workload, args.instructions)
     start = time.perf_counter()
     stats = run_simulation(config, trace, mode=args.mode)
     seconds = time.perf_counter() - start
     print(stats.summary())
     registry = MetricsRegistry()
     record_simulation_metrics(registry, stats, seconds,
-                              machine=config.name, workload=args.workload)
+                              machine=config.name, workload=workload)
     extra = {
         "machine": args.machine,
-        "workload": args.workload,
+        "workload": workload,
         "mode": args.mode,
     }
+    if args.trace_file:
+        extra["trace_file"] = args.trace_file
     if args.mode == "compiled":
         from repro.obs.profiling import record_compile_metrics
         from repro.uarch.compile import compile_cache_stats
@@ -202,7 +234,7 @@ def _cmd_simulate(args) -> int:
         wall_seconds=seconds,
         instructions_per_second=(stats.committed / seconds
                                  if seconds > 0 else 0.0),
-        config_hash=cache_key(config, args.workload, args.instructions),
+        config_hash=cache_key(config, workload, args.instructions),
         snapshot=registry.snapshot(),
         extra=extra,
     )
@@ -411,6 +443,11 @@ def _cmd_campaign(args) -> int:
     except KeyError as error:
         print(f"repro campaign: error: {error}", file=sys.stderr)
         return 2
+    workloads = {
+        "paper": WORKLOAD_NAMES,
+        "zoo": ZOO_NAMES,
+        "all": workload_names(),
+    }[args.workloads]
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir)
@@ -418,10 +455,11 @@ def _cmd_campaign(args) -> int:
     if args.verbose:
         progress = lambda line: print(f"  {line}", file=sys.stderr)  # noqa: E731
     meter = _progress_meter(args.progress,
-                            len(configs) * len(WORKLOAD_NAMES), "cells")
+                            len(configs) * len(workloads), "cells")
     try:
         result, profile = run_campaign(
             configs,
+            workloads=workloads,
             max_instructions=args.instructions,
             name=args.which,
             jobs=args.jobs,
@@ -443,9 +481,10 @@ def _cmd_campaign(args) -> int:
     _record_ledger(
         "campaign",
         profile=profile,
-        config_hash=grid_fingerprint(configs, WORKLOAD_NAMES,
+        config_hash=grid_fingerprint(configs, workloads,
                                      args.instructions),
-        extra={"figure": args.which, "jobs": args.jobs},
+        extra={"figure": args.which, "jobs": args.jobs,
+               "workloads": args.workloads},
     )
     if args.out:
         save_result(result, args.out)
@@ -727,15 +766,28 @@ def build_parser() -> argparse.ArgumentParser:
     machine_list = commands.add_parser("machines", help="list machine configs")
     machine_list.set_defaults(func=_cmd_machines)
 
-    workloads = commands.add_parser("workloads", help="list the benchmark suite")
+    workloads = commands.add_parser(
+        "workloads", help="list the registered workloads"
+    )
     workloads.add_argument("--profile", action="store_true",
                            help="print full trace characterisation")
+    workloads.add_argument("--kind",
+                           choices=("kernel", "synthetic", "external", "all"),
+                           default="all",
+                           help="only list workloads of this kind "
+                                "(default all)")
     workloads.add_argument("-n", "--instructions", type=int, default=5_000)
     workloads.set_defaults(func=_cmd_workloads)
 
     simulate = commands.add_parser("simulate", help="run one machine on one workload")
     simulate.add_argument("machine", choices=sorted(MACHINES))
-    simulate.add_argument("workload", choices=WORKLOAD_NAMES)
+    simulate.add_argument("workload", nargs="?", default=None,
+                          help="a registered workload name "
+                               "(see 'repro workloads')")
+    simulate.add_argument("--trace-file", default=None, metavar="PATH",
+                          help="simulate an external JSONL trace file "
+                               "(repro-trace format) instead of a "
+                               "registered workload")
     simulate.add_argument("-n", "--instructions", type=int,
                           default=DEFAULT_INSTRUCTIONS,
                           help=f"dynamic instructions "
@@ -794,6 +846,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a figure grid on the parallel campaign engine",
     )
     campaign.add_argument("which", choices=("fig13", "fig15", "fig17"))
+    campaign.add_argument("--workloads", choices=("paper", "zoo", "all"),
+                          default="paper",
+                          help="workload set to sweep: the paper suite "
+                               "(default), the synthetic zoo_* scenarios, "
+                               "or every registered workload")
     campaign.add_argument("-n", "--instructions", type=int,
                           default=DEFAULT_INSTRUCTIONS,
                           help=f"dynamic instructions per cell "

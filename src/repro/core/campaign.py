@@ -22,7 +22,8 @@ Determinism is the contract everything else hangs on:
 
 Cache layout: one ``<sha256>.json`` file per cell under the cache
 root, where the key hashes the canonicalised machine config, the
-workload name, the instruction budget, and the stats format version.
+workload name *and content identity* (fingerprint + workload-layer
+version), the instruction budget, and the stats format version.
 Unreadable, truncated, or version-mismatched files are discarded and
 recomputed, never trusted and never fatal.
 """
@@ -51,6 +52,7 @@ from repro.uarch.preanalysis import PREANALYSIS_VERSION
 from repro.uarch.scheduler import strategy_identity
 from repro.uarch.stats import SimStats
 from repro.workloads import WORKLOAD_NAMES, get_trace
+from repro.workloads.registry import workload_identity
 
 #: Default bounded retry count for failed or timed-out cells.
 DEFAULT_RETRIES = 1
@@ -117,14 +119,19 @@ def cache_key(
     budget, the stats serialisation version (so a format bump
     invalidates old entries instead of misreading them), the trace
     pre-analysis version (so a change to the derived arrays the
-    optimized simulator consumes invalidates old entries too), and
-    the scheduler/regfile strategy identity with behaviour versions
+    optimized simulator consumes invalidates old entries too), the
+    scheduler/regfile strategy identity with behaviour versions
     (so two configs differing only in strategy -- or a strategy whose
-    timing behaviour changed -- can never collide).
+    timing behaviour changed -- can never collide), and the
+    workload's *content identity* -- its fingerprint, kind, and
+    :data:`~repro.workloads.registry.WORKLOAD_VERSION` -- so editing
+    a kernel's source (or a zoo scenario's parameters) can never
+    silently reuse stats cached under the same name.
     """
     payload = {
         "config": config_fingerprint(config),
         "workload": workload,
+        "workload_identity": workload_identity(workload),
         "max_instructions": max_instructions,
         "stats_format": stats_format,
         "preanalysis": PREANALYSIS_VERSION,
@@ -154,6 +161,9 @@ def grid_fingerprint(
             for name, config in configs.items()
         },
         "workloads": list(workloads),
+        "workload_identities": {
+            name: workload_identity(name) for name in workloads
+        },
         "max_instructions": max_instructions,
         "stats_format": results_io.FORMAT_VERSION,
         "preanalysis": PREANALYSIS_VERSION,

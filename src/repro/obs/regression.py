@@ -5,7 +5,8 @@ Compares the *current* measurements against two references:
 * the committed floors in the repo-root ``BENCH_*.json`` records --
   ``min_rate_floor`` / ``seed_min_rate_floor`` for simulator
   throughput, ``min_warm_speedup_floor`` for the campaign cache,
-  ``min_warm_qps_floor`` for warm service throughput --
+  ``min_warm_qps_floor`` for warm service throughput,
+  ``min_gen_inst_per_s_floor`` for workload trace generation --
   which are hard gates (a measurement below its floor is a
   regression, full stop); and
 * the run ledger's trailing window -- the newest entry of each kind
@@ -34,7 +35,7 @@ DEFAULT_WINDOW = 5
 
 #: The repo-root bench records the tracker reads.
 BENCH_FILES = ("BENCH_simulator.json", "BENCH_frontier.json",
-               "BENCH_service.json")
+               "BENCH_service.json", "BENCH_workloads.json")
 
 
 @dataclass(frozen=True)
@@ -125,6 +126,30 @@ def check_service_bench(payload: dict) -> list[RegressionFinding]:
     return findings
 
 
+def check_workloads_bench(payload: dict) -> list[RegressionFinding]:
+    """Measured trace-generation rates against the committed floor.
+
+    Every ``measured`` entry (kernel generation, synthetic generation,
+    external-trace round-trip) must clear
+    ``recorded.min_gen_inst_per_s_floor``.
+    """
+    findings: list[RegressionFinding] = []
+    floor = payload.get("recorded", {}).get("min_gen_inst_per_s_floor")
+    if floor is None:
+        return findings
+    for label, rate in sorted(payload.get("measured", {}).items()):
+        if rate < floor:
+            findings.append(RegressionFinding(
+                subject=f"workload generation {label}",
+                measured=float(rate),
+                reference=float(floor),
+                source="floor",
+                detail="inst/s below the committed BENCH_workloads.json "
+                       "floor",
+            ))
+    return findings
+
+
 def check_trailing_window(
     entries: list[LedgerEntry],
     threshold: float = DEFAULT_THRESHOLD,
@@ -203,6 +228,8 @@ def check_all(
         load_bench(bench_dir / "BENCH_frontier.json")))
     findings.extend(check_service_bench(
         load_bench(bench_dir / "BENCH_service.json")))
+    findings.extend(check_workloads_bench(
+        load_bench(bench_dir / "BENCH_workloads.json")))
     if ledger is not None:
         findings.extend(check_trailing_window(
             ledger.entries(), threshold=threshold, window=window))

@@ -50,12 +50,19 @@ from repro.core.machines import machine_registry
 from repro.delay.critical_path import critical_path
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.service.coalescer import Coalescer
-from repro.service.schema import envelope, error_body
+from repro.service.schema import ROUTES, envelope, error_body
 from repro.technology import TECHNOLOGIES, technology_by_feature_size
 from repro.uarch.config import MachineConfig
 from repro.uarch.scheduler import strategy_identity
 from repro.uarch.stats import SimStats
 from repro.workloads import WORKLOAD_NAMES
+from repro.workloads.registry import (
+    WORKLOAD_KINDS,
+    WORKLOAD_REGISTRY,
+    WORKLOAD_VERSION,
+    characterize,
+    workload_names,
+)
 
 #: Default bound on concurrently in-flight simulations (distinct
 #: uncached cells); further misses are rejected with 503.
@@ -387,10 +394,10 @@ class DesignSpaceService:
 
     @staticmethod
     def _require_workload(name: str) -> str:
-        if name not in WORKLOAD_NAMES:
+        if name not in WORKLOAD_REGISTRY:
             raise ServiceError(
                 404, f"unknown workload {name!r}",
-                detail={"known": list(WORKLOAD_NAMES)},
+                detail={"known": list(workload_names())},
             )
         return name
 
@@ -451,6 +458,7 @@ class DesignSpaceService:
             "uptime_seconds": round(time.time() - self._started, 3),
             "machines": len(self.machines),
             "workloads": list(WORKLOAD_NAMES),
+            "registered_workloads": len(WORKLOAD_REGISTRY),
             "jobs": self.jobs,
             "queue_depth": self.queue_depth,
             "pending_simulations": self.coalescer.inflight,
@@ -475,6 +483,41 @@ class DesignSpaceService:
             "workloads": list(WORKLOAD_NAMES),
             "default_instructions": self.default_instructions,
         })
+
+    async def _route_workloads(self, params: dict) -> dict:
+        """The workload registry: listing, identity, characterization.
+
+        ``?kind=`` filters by workload kind; ``?workload=<name>``
+        additionally runs (and returns) that one workload's trace
+        characterization at ``?n=`` instructions (bounded separately
+        from the simulation budget -- profiling is trace generation
+        plus analysis, not simulation).
+        """
+        kind = params.get("kind")
+        if kind is not None and kind not in WORKLOAD_KINDS:
+            raise ServiceError(
+                400, f"unknown workload kind {kind!r}",
+                detail={"known": list(WORKLOAD_KINDS)},
+            )
+        entries = []
+        for name in workload_names(kind):
+            workload = WORKLOAD_REGISTRY[name]
+            entries.append({
+                "name": name,
+                "kind": workload.kind,
+                "description": workload.description,
+                "fingerprint": workload.fingerprint(),
+            })
+        data = {
+            "workloads": entries,
+            "count": len(entries),
+            "workload_version": WORKLOAD_VERSION,
+        }
+        if "workload" in params:
+            name = self._require_workload(params["workload"])
+            budget = self._int_param(params, "n", 5_000)
+            data["profile"] = characterize(name, budget)
+        return envelope(data)
 
     async def _route_cell(self, params: dict) -> dict:
         for required in ("machine", "workload"):
@@ -638,8 +681,8 @@ class DesignSpaceService:
         """The matched route pattern (bounded metric cardinality)."""
         if path.startswith("/v1/delay/"):
             return "/v1/delay/<machine>"
-        if path in ("/v1/healthz", "/v1/machines", "/v1/frontier",
-                    "/v1/cell", "/v1/metrics"):
+        if path in ("/v1/healthz", "/v1/machines", "/v1/workloads",
+                    "/v1/frontier", "/v1/cell", "/v1/metrics"):
             return path
         return "<unknown>"
 
@@ -667,6 +710,10 @@ class DesignSpaceService:
             params = self._parse_query(query, ())
             return 200, json_headers, _json_bytes(
                 await self._route_machines(params))
+        if path == "/v1/workloads":
+            params = self._parse_query(query, ("kind", "workload", "n"))
+            return 200, json_headers, _json_bytes(
+                await self._route_workloads(params))
         if path == "/v1/cell":
             params = self._parse_query(
                 query, ("machine", "workload", "n", "tech"))
@@ -683,9 +730,7 @@ class DesignSpaceService:
                 await self._route_delay(machine, params))
         raise ServiceError(
             404, f"no route for {path!r}",
-            detail={"routes": ["/v1/healthz", "/v1/machines",
-                               "/v1/frontier", "/v1/cell",
-                               "/v1/delay/<machine>", "/v1/metrics"]},
+            detail={"routes": list(ROUTES)},
         )
 
     # -- the socket layer ------------------------------------------------

@@ -34,6 +34,7 @@ SERVICE_SCHEMA = 1
 ROUTES = (
     "/v1/healthz",
     "/v1/machines",
+    "/v1/workloads",
     "/v1/frontier",
     "/v1/cell",
     "/v1/delay/<machine>",

@@ -40,7 +40,12 @@ from repro.verify.oracle import (
     compare_architectural,
     compare_stats,
 )
-from repro.verify.sampler import sample_machine, sample_program, sample_synthetic
+from repro.verify.sampler import (
+    sample_machine,
+    sample_program,
+    sample_synthetic,
+    sample_zoo,
+)
 from repro.workloads import synthetic_trace
 
 #: Default dynamic-instruction cap per case: large enough for every
@@ -51,6 +56,10 @@ DEFAULT_CASE_INSTRUCTIONS = 2_000
 #: Fraction of cases that use generated programs (the rest replay
 #: synthetic traces, which cover op-class mixes no program reaches).
 _PROGRAM_FRACTION = 0.7
+
+#: Fraction of the *non-program* cases drawn from the registered
+#: ``zoo_*`` scenarios instead of free-form synthetic configs.
+_ZOO_FRACTION = 0.5
 
 #: Directory reproducers land in by default.
 DEFAULT_REPRO_DIR = Path("tests") / "repros"
@@ -169,8 +178,10 @@ def build_case_inputs(case: FuzzCase):
 
     Returns:
         ``(shape, config, kind, workload_config)`` where ``kind`` is
-        ``"program"`` or ``"synthetic"`` and ``workload_config`` is the
-        matching generator config.
+        ``"program"``, ``"synthetic"``, or ``"zoo"`` and
+        ``workload_config`` is the matching generator config (for
+        ``"zoo"`` it is the drawn scenario's
+        :class:`~repro.workloads.synthetic.SyntheticConfig`).
     """
     rng = random.Random(case.case_seed)
     shape, config = sample_machine(
@@ -185,9 +196,11 @@ def build_case_inputs(case: FuzzCase):
     )
     if use_program:
         return shape, config, "program", sample_program(rng)
-    return shape, config, "synthetic", sample_synthetic(
-        rng, length=min(case.max_instructions, 600)
-    )
+    length = min(case.max_instructions, 600)
+    if rng.random() < _ZOO_FRACTION:
+        _zoo_name, zoo_cfg = sample_zoo(rng, length)
+        return shape, config, "zoo", zoo_cfg
+    return shape, config, "synthetic", sample_synthetic(rng, length)
 
 
 def run_fuzz_case(case: FuzzCase) -> dict:

@@ -12,12 +12,15 @@ else loudly).
 Workload sampling alternates between the new assembly-program
 generator (:mod:`repro.verify.generator`), which enables the
 architectural oracle, and :class:`~repro.workloads.synthetic.
-SyntheticConfig` streams, which stress timing-only behaviour with
+SyntheticConfig` streams -- either free-form (:func:`sample_synthetic`)
+or drawn from the registered ``zoo_*`` scenarios
+(:func:`sample_zoo`), which stress timing-only behaviour with
 op-class mixes no real program reaches.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import random
 
 from repro.core.machines import MACHINE_REGISTRY
@@ -137,4 +140,21 @@ def sample_synthetic(rng: random.Random, length: int) -> SyntheticConfig:
         branch_fraction=rng.choice((0.05, 0.15, 0.3)),
         branch_taken_probability=rng.choice((0.3, 0.6, 0.9)),
         mean_dependence_distance=rng.choice((2.0, 4.0, 8.0)),
+    )
+
+
+def sample_zoo(rng: random.Random,
+               length: int) -> tuple[str, SyntheticConfig]:
+    """Draw one registered ``zoo_*`` scenario, reseeded per case.
+
+    Returns ``(zoo name, generator config)`` where the config is the
+    scenario's registered parameters with this case's length and a
+    fresh seed -- so the fuzzer explores the scenario's *axis
+    position* (its mix/entropy/footprint), not a single fixed trace.
+    """
+    from repro.workloads.zoo import ZOO_NAMES, zoo_config
+
+    name = ZOO_NAMES[rng.randrange(len(ZOO_NAMES))]
+    return name, dataclasses.replace(
+        zoo_config(name, length=length), seed=rng.randrange(1, 1 << 30)
     )

@@ -1,0 +1,139 @@
+"""The synthetic workload zoo: named scenarios across three axes.
+
+The paper's seven kernels sit in a realistic but narrow band of
+behaviour.  The zoo sweeps the :class:`~repro.workloads.synthetic.
+SyntheticConfig` space along the three axes the dependence-based
+microarchitecture is sensitive to, giving every consumer of the
+workload registry (campaigns, the frontier, the fuzzer, the service)
+controlled points well outside that band:
+
+* **ILP** (``zoo_ilp_*``): mean dependence distance from serial
+  pointer-chase chains to wide independent streams.
+* **Branch entropy** (``zoo_br_*``): branch density crossed with
+  taken-probability, from perfectly learnable to coin-flip.
+* **Memory footprint** (``zoo_mem_*``): address pools from
+  cache-resident to far beyond it, plus load/store-skewed mixes.
+
+Each scenario is a length-free :class:`SyntheticConfig`; the budget
+requested at trace time becomes ``length``.  Scenarios auto-register
+as kind ``synthetic`` when this module is imported (the
+:mod:`repro.workloads` package does so), with their canonical config
+as cache-key content -- editing a scenario's parameters invalidates
+its cached campaign cells just as editing a kernel's source does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.workloads.registry import (
+    KIND_SYNTHETIC,
+    Workload,
+    canonical_synthetic_content,
+    register_workload,
+)
+from repro.workloads.synthetic import SyntheticConfig, synthetic_trace
+
+#: The zoo: name -> (description, length-free SyntheticConfig).
+#: Seeds are distinct so no two scenarios share a random stream.
+ZOO_SCENARIOS: dict[str, tuple[str, SyntheticConfig]] = {
+    # --- ILP axis ------------------------------------------------------
+    "zoo_ilp_serial": (
+        "near-serial dependence chains (distance ~1.3)",
+        SyntheticConfig(seed=101, mean_dependence_distance=1.3),
+    ),
+    "zoo_ilp_moderate": (
+        "moderate ILP (distance ~4, the kernel band)",
+        SyntheticConfig(seed=102, mean_dependence_distance=4.0),
+    ),
+    "zoo_ilp_wide": (
+        "wide independent streams (distance ~16)",
+        SyntheticConfig(seed=103, mean_dependence_distance=16.0),
+    ),
+    # --- branch-entropy axis ------------------------------------------
+    "zoo_br_predictable": (
+        "dense but strongly biased branches (95% taken)",
+        SyntheticConfig(seed=111, branch_fraction=0.25,
+                        branch_taken_probability=0.95),
+    ),
+    "zoo_br_coin": (
+        "coin-flip branches at kernel density",
+        SyntheticConfig(seed=112, branch_fraction=0.15,
+                        branch_taken_probability=0.5),
+    ),
+    "zoo_br_dense_coin": (
+        "dense coin-flip branches (mispredict-bound)",
+        SyntheticConfig(seed=113, branch_fraction=0.30,
+                        branch_taken_probability=0.5),
+    ),
+    "zoo_br_sparse": (
+        "long branch-free runs (3% branches)",
+        SyntheticConfig(seed=114, branch_fraction=0.03,
+                        branch_taken_probability=0.7),
+    ),
+    # --- memory-footprint axis ----------------------------------------
+    "zoo_mem_hot": (
+        "memory-heavy over a 64-word hot set",
+        SyntheticConfig(seed=121, load_fraction=0.30,
+                        store_fraction=0.15, memory_words=64),
+    ),
+    "zoo_mem_warm": (
+        "memory-heavy over a 4K-word pool",
+        SyntheticConfig(seed=122, load_fraction=0.30,
+                        store_fraction=0.15, memory_words=4096),
+    ),
+    "zoo_mem_cold": (
+        "memory-heavy over a 64K-word pool",
+        SyntheticConfig(seed=123, load_fraction=0.30,
+                        store_fraction=0.15, memory_words=65536),
+    ),
+    "zoo_loadheavy": (
+        "load-dominated mix (45% loads)",
+        SyntheticConfig(seed=124, load_fraction=0.45,
+                        store_fraction=0.05),
+    ),
+    "zoo_storeheavy": (
+        "store-dominated mix (35% stores)",
+        SyntheticConfig(seed=125, load_fraction=0.10,
+                        store_fraction=0.35),
+    ),
+    # --- static-footprint axis ----------------------------------------
+    "zoo_tiny_body": (
+        "8-slot loop body (tight kernel, hot predictor sites)",
+        SyntheticConfig(seed=131, body_size=8),
+    ),
+    "zoo_big_body": (
+        "512-slot loop body (large static footprint)",
+        SyntheticConfig(seed=132, body_size=512),
+    ),
+}
+
+#: Zoo workload names in presentation order.
+ZOO_NAMES: tuple[str, ...] = tuple(ZOO_SCENARIOS)
+
+
+def zoo_config(name: str, length: int | None = None) -> SyntheticConfig:
+    """The scenario's generator config, optionally with a length."""
+    _, config = ZOO_SCENARIOS[name]
+    if length is None:
+        return config
+    return dataclasses.replace(config, length=length)
+
+
+def _make_loader(name: str):
+    def loader(max_instructions: int):
+        trace = synthetic_trace(zoo_config(name, length=max_instructions))
+        trace.name = name
+        return trace
+    return loader
+
+
+def _register_zoo() -> None:
+    for name, (description, config) in ZOO_SCENARIOS.items():
+        register_workload(Workload(
+            name, KIND_SYNTHETIC, description, _make_loader(name),
+            content=lambda config=config: canonical_synthetic_content(config),
+        ))
+
+
+_register_zoo()

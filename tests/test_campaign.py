@@ -232,6 +232,51 @@ class TestCacheKey:
         )
         assert cache_key(baseline_8way(), "li", N) != before
 
+    def test_key_changes_when_kernel_source_is_edited(self, monkeypatch):
+        # THE staleness fix this PR exists for: the key hashes the
+        # workload's *content* (the kernel's assembly source), not just
+        # its name, so editing li.s misses every cached cell instead of
+        # silently serving the old kernel's stats.
+        from repro.workloads import li
+
+        original = li.source()
+        before = cache_key(baseline_8way(), "li", N)
+        monkeypatch.setattr(li, "source", lambda: original + "\n# edited\n")
+        assert cache_key(baseline_8way(), "li", N) != before
+        # Other workloads' cells are untouched by the edit.
+        assert cache_key(baseline_8way(), "gcc", N) == cache_key(
+            baseline_8way(), "gcc", N
+        )
+
+    def test_key_changes_with_workload_version(self, monkeypatch):
+        import repro.workloads.registry as registry_mod
+
+        before = cache_key(baseline_8way(), "li", N)
+        monkeypatch.setattr(
+            registry_mod, "WORKLOAD_VERSION",
+            registry_mod.WORKLOAD_VERSION + 1,
+        )
+        assert cache_key(baseline_8way(), "li", N) != before
+
+    def test_grid_fingerprint_changes_when_kernel_source_is_edited(
+        self, monkeypatch
+    ):
+        from repro.core.campaign import grid_fingerprint
+        from repro.workloads import li
+
+        grid = {"baseline": baseline_8way()}
+        original = li.source()
+        before = grid_fingerprint(grid, WORKLOAD_NAMES, N)
+        monkeypatch.setattr(li, "source", lambda: original + "\n# edited\n")
+        assert grid_fingerprint(grid, WORKLOAD_NAMES, N) != before
+
+    def test_unregistered_workload_still_gets_a_key(self):
+        # Runner-injected test workloads are not in the registry; the
+        # key falls back to a name-only identity instead of raising.
+        assert cache_key(baseline_8way(), "not-a-workload", N) != cache_key(
+            baseline_8way(), "another-fake", N
+        )
+
     def test_fifo_geometry_is_single_valued_in_the_fingerprint(self):
         # ClusterConfig normalises window_size to the FIFO capacity,
         # so two spellings of the same geometry share a cache cell.

@@ -441,6 +441,112 @@ class TestServiceDoc:
         assert "docs/service.md" in readme
 
 
+@pytest.fixture(scope="module")
+def workloads_doc():
+    return (DOCS / "workloads.md").read_text(encoding="utf-8")
+
+
+class TestWorkloadsDoc:
+    def test_every_registered_workload_documented(self, workloads_doc):
+        from repro.workloads.registry import workload_names
+
+        missing = [name for name in workload_names()
+                   if f"`{name}`" not in workloads_doc]
+        assert not missing, (
+            f"workloads missing from docs/workloads.md: {missing}")
+
+    def test_every_kind_documented(self, workloads_doc):
+        from repro.workloads.registry import WORKLOAD_KINDS
+
+        for kind in WORKLOAD_KINDS:
+            assert f"`{kind}`" in workloads_doc, kind
+
+    def test_version_constants_match_code(self, workloads_doc):
+        from repro.workloads.registry import WORKLOAD_VERSION
+        from repro.workloads.trace_format import TRACE_FORMAT_VERSION
+
+        assert "WORKLOAD_VERSION" in workloads_doc
+        assert "TRACE_FORMAT_VERSION" in workloads_doc
+        assert workloads_doc.count(
+            f"currently **{WORKLOAD_VERSION}**") >= 1
+        assert f'"version": {TRACE_FORMAT_VERSION},' in workloads_doc
+
+    def test_trace_format_fields_documented(self, workloads_doc):
+        for field in ("format", "version", "name", "halted", "count",
+                      "pc", "op", "srcs", "dest", "mem", "taken",
+                      "next"):
+            assert f'"{field}"' in workloads_doc, (
+                f"trace-format field {field!r} missing from "
+                "docs/workloads.md")
+
+    def test_documented_symbols_exist(self, workloads_doc):
+        from repro.workloads.registry import (  # noqa: F401
+            register_external_trace,
+            workload_identity,
+        )
+        from repro.workloads.trace_format import (  # noqa: F401
+            TraceFormatError,
+            convert_gem5_records,
+            load_trace,
+            save_trace,
+        )
+        from repro.workloads.zoo import zoo_config  # noqa: F401
+
+        for symbol in ("register_external_trace", "workload_identity",
+                       "TraceFormatError", "load_trace", "save_trace",
+                       "convert_gem5_records", "zoo_config"):
+            assert symbol in workloads_doc, symbol
+
+    def test_cli_flags_are_real(self, workloads_doc):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        listing = parser.parse_args(["workloads"])
+        assert "--kind" in workloads_doc and hasattr(listing, "kind")
+        assert "--profile" in workloads_doc and hasattr(listing, "profile")
+        simulate = parser.parse_args(
+            ["simulate", "baseline", "--trace-file", "x.jsonl"])
+        assert "--trace-file" in workloads_doc
+        assert simulate.trace_file == "x.jsonl"
+        campaign = parser.parse_args(
+            ["campaign", "fig13", "--workloads", "zoo"])
+        assert "--workloads" in workloads_doc
+        assert campaign.workloads == "zoo"
+
+    def test_referenced_files_exist(self, workloads_doc):
+        for line in workloads_doc.splitlines():
+            for token in line.split("`"):
+                if token.startswith(("tests/", "benchmarks/", "src/")) \
+                        and "<" not in token and "." in token:
+                    assert (ROOT / token).exists(), (
+                        f"{token} referenced in docs/workloads.md but "
+                        "missing")
+
+    def test_golden_fixture_exists(self, workloads_doc):
+        assert "tests/data/golden_li64.jsonl" in workloads_doc
+        assert (ROOT / "tests" / "data" / "golden_li64.jsonl").exists()
+
+    def test_bench_record_matches_floor(self):
+        import json
+
+        from benchmarks.bench_workloads import MIN_GEN_RATE  # noqa: PLC0415
+
+        payload = json.loads(
+            (ROOT / "BENCH_workloads.json").read_text(encoding="utf-8"))
+        recorded = payload["recorded"]
+        assert recorded["min_gen_inst_per_s_floor"] == MIN_GEN_RATE
+        for label, rate in payload["measured"].items():
+            assert rate >= MIN_GEN_RATE, (label, rate)
+
+    def test_cross_links(self, workloads_doc, architecture_doc, readme,
+                         service_doc):
+        assert "architecture.md" in workloads_doc
+        assert "service.md" in workloads_doc
+        assert "workloads.md" in architecture_doc
+        assert "workloads.md" in service_doc
+        assert "docs/workloads.md" in readme
+
+
 class TestDocsIndex:
     @pytest.fixture(scope="class")
     def index_doc(self):

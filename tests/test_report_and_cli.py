@@ -106,6 +106,18 @@ class TestCli:
         assert main(["workloads", "--profile", "-n", "1000"]) == 0
         assert "dataflow ILP" in capsys.readouterr().out
 
+    def test_workloads_lists_the_zoo(self, capsys):
+        assert main(["workloads", "-n", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "zoo_ilp_wide" in out
+        assert "synthetic" in out
+
+    def test_workloads_kind_filter(self, capsys):
+        assert main(["workloads", "--kind", "kernel", "-n", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "compress" in out
+        assert "zoo_" not in out
+
     def test_simulate_command(self, capsys):
         assert main(["simulate", "baseline", "li", "-n", "2000"]) == 0
         assert "IPC=" in capsys.readouterr().out
@@ -140,6 +152,46 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["simulate", "cray-1", "li"])
 
+    def test_simulate_zoo_workload(self, capsys):
+        assert main(["simulate", "baseline", "zoo_br_coin",
+                     "-n", "1000"]) == 0
+        assert "IPC=" in capsys.readouterr().out
+
+    def test_simulate_trace_file(self, tmp_path, capsys):
+        from repro.workloads import get_trace
+        from repro.workloads.trace_format import save_trace
+
+        path = save_trace(get_trace("li", 500), tmp_path / "ext.jsonl")
+        assert main(["simulate", "baseline", "--trace-file", str(path),
+                     "-n", "400"]) == 0
+        assert "IPC=" in capsys.readouterr().out
+
+    def test_simulate_trace_file_conflicts_with_workload(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "x.jsonl"
+        path.write_text("")
+        assert main(["simulate", "baseline", "li",
+                     "--trace-file", str(path)]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_simulate_needs_a_workload(self, capsys):
+        assert main(["simulate", "baseline"]) == 2
+        assert "--trace-file" in capsys.readouterr().err
+
+    def test_simulate_unknown_workload_lists_the_registry(self, capsys):
+        assert main(["simulate", "baseline", "dhrystone"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload" in err
+        assert "zoo_ilp_wide" in err
+
+    def test_simulate_malformed_trace_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("garbage\n")
+        assert main(["simulate", "baseline",
+                     "--trace-file", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
     def test_campaign_command(self, tmp_path, capsys):
         cache_dir = tmp_path / "cache"
         argv = ["campaign", "fig13", "-n", "800", "--jobs", "2",
@@ -155,6 +207,22 @@ class TestCli:
         # Warm rerun: the whole grid from cache, zero simulations.
         assert main(argv) == 0
         assert "14 cache hits, 0 simulated" in capsys.readouterr().out
+
+    def test_campaign_over_the_zoo(self, tmp_path, capsys):
+        from repro.workloads import ZOO_NAMES
+
+        cache_dir = tmp_path / "cache"
+        argv = ["campaign", "fig13", "-n", "400", "--workloads", "zoo",
+                "--cache-dir", str(cache_dir)]
+        assert main(argv) == 0
+        expected = 2 * len(ZOO_NAMES)  # fig13 grid: 2 machines
+        out = capsys.readouterr().out
+        assert f"0 cache hits, {expected} simulated" in out
+        assert "zoo_ilp_serial" in out
+        # Warm rerun serves the whole zoo grid from cache.
+        assert main(argv) == 0
+        assert (f"{expected} cache hits, 0 simulated"
+                in capsys.readouterr().out)
 
     def test_campaign_no_cache(self, tmp_path, capsys):
         assert main(["campaign", "fig13", "-n", "500", "--no-cache",

@@ -205,6 +205,59 @@ class TestRouting:
         assert "baseline" in names and names == sorted(names)
         assert all("strategy" in m for m in payload["machines"])
 
+    def test_workloads_lists_the_registry(self, tmp_path):
+        from repro.workloads.registry import (
+            WORKLOAD_VERSION,
+            workload_names,
+        )
+
+        service = make_service(tmp_path)
+        status, _, payload = run(get(service, "/v1/workloads"))
+        assert status == 200
+        names = [w["name"] for w in payload["workloads"]]
+        assert tuple(names) == workload_names()  # registration order
+        assert names[: len(WORKLOAD_NAMES)] == list(WORKLOAD_NAMES)
+        assert payload["count"] == len(names)
+        assert payload["workload_version"] == WORKLOAD_VERSION
+        for entry in payload["workloads"]:
+            assert entry["kind"] in ("kernel", "synthetic", "external")
+            assert entry["description"]
+            assert len(entry["fingerprint"]) == 64
+
+    def test_workloads_kind_filter(self, tmp_path):
+        service = make_service(tmp_path)
+        status, _, payload = run(
+            get(service, "/v1/workloads?kind=synthetic"))
+        assert status == 200
+        assert payload["workloads"]
+        assert all(w["name"].startswith("zoo_")
+                   for w in payload["workloads"])
+
+    def test_workloads_bad_kind_is_400(self, tmp_path):
+        service = make_service(tmp_path)
+        status, _, payload = run(get(service, "/v1/workloads?kind=jpeg"))
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+        assert "kernel" in payload["error"]["detail"]["known"]
+
+    def test_workloads_profile(self, tmp_path):
+        service = make_service(tmp_path)
+        status, _, payload = run(
+            get(service, "/v1/workloads?workload=zoo_br_coin&n=600"))
+        assert status == 200
+        profile = payload["profile"]
+        assert profile["name"] == "zoo_br_coin"
+        assert profile["kind"] == "synthetic"
+        assert 0 < profile["instructions"] <= 600
+        assert 0.0 < profile["branch_fraction"] < 1.0
+
+    def test_workloads_unknown_profile_is_404(self, tmp_path):
+        service = make_service(tmp_path)
+        status, _, payload = run(
+            get(service, "/v1/workloads?workload=nope"))
+        assert status == 404
+        assert "li" in payload["error"]["detail"]["known"]
+
     def test_delay_breakdown(self, tmp_path):
         service = make_service(tmp_path)
         status, _, payload = run(get(service, "/v1/delay/baseline?tech=0.18"))

@@ -55,7 +55,7 @@ def test_run_fuzz_case_payload_shape():
     case = FuzzCase(case_id=0, case_seed=derive_case_seed(0, 0))
     payload = run_fuzz_case(case)
     assert payload["case_id"] == 0
-    assert payload["kind"] in ("program", "synthetic")
+    assert payload["kind"] in ("program", "synthetic", "zoo")
     assert payload["failures"] == []
     assert payload["seconds"] > 0
 
@@ -66,7 +66,8 @@ def test_small_campaign_is_clean_and_covers_shapes(tmp_path):
     profile = report.profile
     assert profile.cases == 24
     assert len(profile.shape_counts) >= 3
-    assert set(profile.kind_counts) <= {"program", "synthetic"}
+    assert set(profile.kind_counts) <= {"program", "synthetic", "zoo"}
+    assert "zoo" in profile.kind_counts  # the zoo draw fires at 24 cases
     assert not any(tmp_path.iterdir())  # no reproducers on a clean run
 
 
